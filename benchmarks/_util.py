@@ -1,0 +1,27 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table/figure of the paper: it runs
+the simulation harness once (``benchmark.pedantic`` — simulations are
+deterministic, repetition adds nothing), prints the figure's rows, writes
+them to ``benchmarks/out/<name>.txt`` so they survive pytest's output
+capturing, and asserts the paper's *shape* (who wins, by what factor,
+where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a figure's rows and persist them under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/out/{name}.txt]")
+
+
+def run_once(benchmark, func):
+    """Run a deterministic simulation once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

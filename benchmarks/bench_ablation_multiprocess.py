@@ -1,0 +1,88 @@
+"""E11 (supplementary) — the cost and the value of per-process send queues.
+
+Section 6: "Picking up a send request in Myrinet requires scanning send
+queues of all possible senders, whereas in SHRIMP it is done immediately
+by the network interface state machine."  Section 7: per-process queues
+are what give VMMC protection on uniprocessor *and* SMP nodes without
+gang scheduling.
+
+This bench quantifies both sides:
+
+* latency of one sender while 1…12 processes are attached (the scan tax
+  grows linearly with attached processes);
+* NIC SRAM consumed per attached process (the resource bill that bounds
+  how many processes one interface can serve).
+"""
+
+import pytest
+
+from repro.bench import VmmcPair
+from repro.bench.microbench import vmmc_pingpong_latency
+from repro.bench.report import format_table
+from repro.cluster import TestbedConfig
+
+from _util import publish, run_once
+
+PROCESS_COUNTS = [1, 2, 4, 5]
+
+
+def measure_scan_tax() -> list[dict]:
+    rows = []
+    # First: the hard limit.  "The outgoing page table is only limited by
+    # the amount of available SRAM on the LANai card and the number of
+    # processes simultaneously using a given interface" (section 4.4) —
+    # with the full 8 MB import reach per process, a 256 KB board fits
+    # only a handful of processes before attach fails.
+    from repro.hw.lanai.sram import SRAMExhausted
+
+    probe = VmmcPair(TestbedConfig(nnodes=2, memory_mb=16),
+                     buffer_bytes=16 * 1024)
+    attached = 1  # the benchmark process itself
+    try:
+        for i in range(32):
+            probe.cluster.nodes[0].attach_process(f"filler{i}")
+            attached += 1
+    except SRAMExhausted:
+        pass
+    max_processes = attached
+    for extra in PROCESS_COUNTS:
+        pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=16),
+                        buffer_bytes=32 * 1024)
+        # Attach idle extra processes to the *sender's* NIC: their queues
+        # must still be scanned every main-loop iteration.
+        for i in range(extra - 1):
+            pair.cluster.nodes[0].attach_process(f"idle{i}")
+        latency = vmmc_pingpong_latency(pair, 4, iterations=10).one_way_us
+        usage = pair.cluster.nodes[0].nic.sram_usage()
+        per_process = sum(v for k, v in usage.items() if ".pid" in k)
+        rows.append({
+            "max_processes": max_processes,
+            "procs": extra,
+            "latency_us": latency,
+            "sram_used_kb": sum(usage.values()) / 1024,
+            "sram_per_proc_kb": per_process / extra / 1024,
+        })
+    return rows
+
+
+def bench_ablation_multiprocess(benchmark):
+    rows = run_once(benchmark, measure_scan_tax)
+    publish("ablation_multiprocess", format_table(
+        "Per-process send queues: scan tax and SRAM bill "
+        "(one active sender + N-1 idle attached processes)",
+        ["attached procs", "one-way latency us", "NIC SRAM used KB",
+         "SRAM per process KB"],
+        [[r["procs"], r["latency_us"], r["sram_used_kb"],
+          r["sram_per_proc_kb"]] for r in rows])
+        + f"\nmax processes per 256 KB interface: "
+          f"{rows[0]['max_processes']} (then SRAMExhausted)")
+    by_n = {r["procs"]: r for r in rows}
+    # The scan tax exists and grows with attached processes...
+    assert by_n[5]["latency_us"] > by_n[1]["latency_us"]
+    # ...but stays modest (it is a per-queue head check, ~0.2 us each).
+    assert by_n[5]["latency_us"] - by_n[1]["latency_us"] < 3.0
+    # SRAM per process is tens of KB: queue + outgoing table + TLB.
+    assert 25 <= by_n[4]["sram_per_proc_kb"] <= 35
+    # The 256 KB board caps simultaneous processes in the single digits —
+    # the section-4.4/section-6 resource-pressure point, demonstrated.
+    assert 3 <= rows[0]["max_processes"] <= 8

@@ -1,0 +1,86 @@
+"""E9 — Ablation: the 128-byte short/long protocol threshold.
+
+Paper (section 5.3): "Synchronous send overhead, not latency, is the
+motivation why the threshold ... is not lower than 128 bytes.  Setting
+this threshold to 64 would dramatically increase synchronous send overhead
+for messages between 64 and 128 bytes long, although latency would not
+change much ...  On the other hand, we cannot set this threshold higher
+than 128 bytes because of limited size of LANai SRAM."
+
+We sweep the threshold and regenerate exactly that argument: the sync
+overhead of a 96-byte message under thresholds {32, 64, 128, 256, 512},
+its latency (barely moving), and the SRAM bill of larger thresholds.
+"""
+
+import pytest
+
+import repro.vmmc.sendqueue as sq
+from repro.bench import VmmcPair
+from repro.bench.microbench import vmmc_pingpong_latency, vmmc_send_overhead
+from repro.bench.report import format_table
+from repro.cluster import TestbedConfig
+from repro.vmmc.sendqueue import QUEUE_SLOTS
+
+from _util import publish, run_once
+
+PROBE_SIZE = 96   # between 64 and 128: the paper's contested region
+THRESHOLDS = [32, 64, 128, 256, 512]
+
+
+def measure_threshold_sweep() -> list[dict]:
+    rows = []
+    saved_limit = sq.SHORT_SEND_LIMIT
+    saved_slot = sq.SLOT_BYTES
+    try:
+        for threshold in THRESHOLDS:
+            sq.SHORT_SEND_LIMIT = threshold
+            sq.SLOT_BYTES = 16 + threshold
+            import repro.vmmc.api as api
+            saved_api = api.SHORT_SEND_LIMIT
+            api.SHORT_SEND_LIMIT = threshold
+            try:
+                pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=16),
+                                buffer_bytes=32 * 1024)
+                overhead = vmmc_send_overhead(
+                    pair, PROBE_SIZE, synchronous=True,
+                    iterations=6).overhead_us
+                latency = vmmc_pingpong_latency(
+                    pair, PROBE_SIZE, iterations=8).one_way_us
+                rows.append({
+                    "threshold": threshold,
+                    "overhead_us": overhead,
+                    "latency_us": latency,
+                    "sram_per_queue_kb":
+                        QUEUE_SLOTS * (16 + threshold) / 1024,
+                })
+            finally:
+                api.SHORT_SEND_LIMIT = saved_api
+    finally:
+        sq.SHORT_SEND_LIMIT = saved_limit
+        sq.SLOT_BYTES = saved_slot
+    return rows
+
+
+def bench_ablation_threshold(benchmark):
+    rows = run_once(benchmark, measure_threshold_sweep)
+    publish("ablation_threshold", format_table(
+        f"Ablation: short/long threshold (probe message = {PROBE_SIZE} B)",
+        ["threshold B", "sync overhead us", "one-way latency us",
+         "send-queue SRAM KB/process"],
+        [[r["threshold"], r["overhead_us"], r["latency_us"],
+          r["sram_per_queue_kb"]] for r in rows]))
+    by_thr = {r["threshold"]: r for r in rows}
+    # Threshold 64 forces the 96 B probe onto the long path: sync overhead
+    # jumps dramatically vs threshold 128 (the paper's argument).
+    assert by_thr[64]["overhead_us"] > 1.5 * by_thr[128]["overhead_us"]
+    # ... while latency changes much less (relative).
+    lat_ratio = by_thr[64]["latency_us"] / by_thr[128]["latency_us"]
+    ovh_ratio = by_thr[64]["overhead_us"] / by_thr[128]["overhead_us"]
+    assert lat_ratio < ovh_ratio
+    assert lat_ratio < 1.25
+    # Raising the threshold past 128 buys little overhead for this probe
+    # but multiplies the per-process SRAM bill.
+    assert by_thr[512]["overhead_us"] == \
+        pytest.approx(by_thr[128]["overhead_us"], rel=0.05)
+    assert by_thr[512]["sram_per_queue_kb"] > \
+        3 * by_thr[128]["sram_per_queue_kb"]

@@ -1,0 +1,40 @@
+"""E2 — Figure 2: VMMC one-way latency for short messages (ping-pong).
+
+Paper: one-word latency is 9.8 µs; messages up to 32 words (128 B) are
+PIO-copied into the SRAM send queue, longer ones switch to the host-DMA
+long protocol (visible as a knee in the curve).
+"""
+
+import pytest
+
+from repro.bench import VmmcPair
+from repro.bench.microbench import vmmc_pingpong_latency
+from repro.bench.report import Series, format_series
+from repro.cluster import TestbedConfig
+
+from _util import publish, run_once
+
+SIZES = [4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def measure_latency_curve() -> Series:
+    pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=16),
+                    buffer_bytes=64 * 1024)
+    series = Series("VMMC one-way latency")
+    for size in SIZES:
+        point = vmmc_pingpong_latency(pair, size, iterations=10)
+        series.add(size, point.one_way_us)
+    return series
+
+
+def bench_fig2_latency(benchmark):
+    series = run_once(benchmark, measure_latency_curve)
+    publish("fig2_latency", format_series(
+        "Figure 2: VMMC latency for short messages",
+        "message bytes", "one-way us", [series]))
+    # Headline number: one word in 9.8 us.
+    assert series.y_at(4) == pytest.approx(9.8, rel=0.03)
+    # Latency grows with PIO word count in the short regime.
+    assert series.y_at(4) < series.y_at(64) < series.y_at(128)
+    # Everything in the figure stays within the same order of magnitude.
+    assert series.y_at(512) < 5 * series.y_at(4)

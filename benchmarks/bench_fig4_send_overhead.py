@@ -1,0 +1,56 @@
+"""E4 — Figure 4: overhead of synchronous and asynchronous sends.
+
+Paper (section 5.3): synchronous send overhead is a few microseconds and
+grows slowly up to 128 bytes (PIO word count), then jumps when the
+protocol switches to the long format and must wait for host-DMA to the
+NIC.  Asynchronous overhead for long sends is slightly *lower* than for
+short sends: the long request is fixed-size, whereas a short send PIO-
+copies its data.  This asymmetry is why the short/long threshold sits at
+128 bytes and not lower.
+"""
+
+import pytest
+
+from repro.bench import VmmcPair
+from repro.bench.microbench import vmmc_send_overhead
+from repro.bench.report import Series, format_series
+from repro.cluster import TestbedConfig
+
+from _util import publish, run_once
+
+SIZES = [4, 16, 32, 64, 128, 192, 256, 512, 1024, 4096]
+
+
+def measure_overhead_curves() -> tuple[Series, Series]:
+    pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=16),
+                    buffer_bytes=64 * 1024)
+    sync = Series("sync send")
+    async_ = Series("async send")
+    for size in SIZES:
+        sync.add(size, vmmc_send_overhead(
+            pair, size, synchronous=True, iterations=6).overhead_us)
+        async_.add(size, vmmc_send_overhead(
+            pair, size, synchronous=False, iterations=6).overhead_us)
+    return sync, async_
+
+
+def bench_fig4_send_overhead(benchmark):
+    sync, async_ = run_once(benchmark, measure_overhead_curves)
+    publish("fig4_send_overhead", format_series(
+        "Figure 4: Overhead of the synchronous and asynchronous send "
+        "operations", "message bytes", "us", [sync, async_]))
+    # Short sends: sync == async (identical host code path).
+    for size in (4, 64, 128):
+        assert sync.y_at(size) == pytest.approx(async_.y_at(size), rel=0.02)
+    # Small sync sends cost a few microseconds, growing slowly to 128 B.
+    assert 2.0 <= sync.y_at(4) <= 4.0
+    assert sync.y_at(128) < 3 * sync.y_at(4)
+    # The jump past the 128 B short/long protocol boundary (sync only).
+    assert sync.y_at(192) > 1.5 * sync.y_at(128)
+    # Async long overhead is slightly LOWER than async short overhead:
+    # fixed-size request vs PIO data copy (paper's exact observation).
+    assert async_.y_at(256) < async_.y_at(128)
+    # Sync long overhead grows with size (waits for host DMA); async
+    # long does not.
+    assert sync.y_at(4096) > sync.y_at(256)
+    assert async_.y_at(4096) == pytest.approx(async_.y_at(256), rel=0.1)

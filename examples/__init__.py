@@ -1,0 +1,3 @@
+"""Runnable example scenarios (see README).  Import-able as a package so
+the CLI's `shootout` command can reuse `protocol_shootout.main` when run
+from a repository checkout."""

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A producer/consumer pipeline driven by VMMC notifications.
+
+Data-only transfers need no receiver involvement, but *control* transfer
+does: "attaching a notification to a message causes the invocation of a
+user-level handler function in the receiving process after the message has
+been delivered" (section 2).  This example builds a two-stage pipeline:
+
+  node0 (producer) --records--> node1 (transformer) --results--> node0
+
+The transformer never polls: each arriving batch raises a notification
+whose handler transforms the data in place (zero-copy — it works directly
+on the exported buffer) and forwards the result.  The producer likewise
+collects results via notifications.
+
+Run:  python examples/notification_pipeline.py
+"""
+
+import numpy as np
+
+from repro import Cluster, TestbedConfig
+
+BATCH_WORDS = 1024           # 4 KB batches
+BATCHES = 8
+
+
+def main() -> None:
+    cluster = Cluster.build(TestbedConfig(nnodes=2, memory_mb=16))
+    env = cluster.env
+    _, producer = cluster.nodes[0].attach_process("producer")
+    _, transformer = cluster.nodes[1].attach_process("transformer")
+
+    batch_bytes = BATCH_WORDS * 4
+    stage_in = transformer.alloc_buffer(batch_bytes)     # node1's inbox
+    results_in = producer.alloc_buffer(batch_bytes)      # node0's inbox
+    state = {"received": [], "forwarded": 0, "done": env.event()}
+    wiring = {}
+
+    # --- transformer: handler transforms in place and forwards ----------
+    def on_batch(info):
+        raw = stage_in.read(0, batch_bytes)
+        words = np.frombuffer(raw.tobytes(), dtype=np.uint32)
+        transformed = (words * 2 + 1).astype(np.uint32)   # the "compute"
+        out = transformer.alloc_buffer(batch_bytes)
+        out.write(transformed.tobytes())
+        state["forwarded"] += 1
+        yield transformer.send(out, wiring["to_producer"], batch_bytes)
+
+    # --- producer: handler collects results ------------------------------
+    def on_result(info):
+        words = np.frombuffer(results_in.read(0, batch_bytes).tobytes(),
+                              dtype=np.uint32)
+        state["received"].append(words.copy())
+        if len(state["received"]) == BATCHES:
+            state["done"].succeed()
+        if False:
+            yield None
+
+    def app():
+        yield transformer.export(stage_in, "stage_in",
+                                 notify_handler=on_batch)
+        yield producer.export(results_in, "results",
+                              notify_handler=on_result)
+        wiring["to_transformer"] = yield producer.import_buffer(
+            "node1", "stage_in")
+        wiring["to_producer"] = yield transformer.import_buffer(
+            "node0", "results")
+
+        src = producer.alloc_buffer(batch_bytes)
+        t0 = env.now
+        for batch in range(BATCHES):
+            words = np.arange(BATCH_WORDS, dtype=np.uint32) + batch * 1000
+            src.write(words.tobytes())
+            yield producer.send(src, wiring["to_transformer"], batch_bytes)
+            # Lock-step: wait for this batch's result before the next, so
+            # the single staging buffer is never overwritten early.
+            while len(state["received"]) <= batch:
+                yield env.timeout(10_000)
+        yield state["done"]
+        state["elapsed_us"] = (env.now - t0) / 1000
+
+    env.run(until=env.process(app()))
+
+    # Verify every batch went through the transform exactly once.
+    for batch, words in enumerate(state["received"]):
+        expected = (np.arange(BATCH_WORDS, dtype=np.uint32)
+                    + batch * 1000) * 2 + 1
+        assert np.array_equal(words, expected), f"batch {batch} corrupted"
+
+    notif = cluster.nodes[1].lcp.notifications_raised \
+        + cluster.nodes[0].lcp.notifications_raised
+    print(f"pipelined {BATCHES} x {batch_bytes} B batches in "
+          f"{state['elapsed_us']:.0f} us")
+    print(f"notifications raised: {notif} "
+          f"(one per batch per stage: {2 * BATCHES})")
+    print(f"signals delivered to user handlers: "
+          f"{cluster.nodes[0].kernel.signals_delivered} + "
+          f"{cluster.nodes[1].kernel.signals_delivered}")
+    print("all batches transformed correctly: True")
+
+
+if __name__ == "__main__":
+    main()

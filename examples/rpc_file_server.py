@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""A SunRPC-compatible file server, served over vRPC *and* UDP.
+
+Section 5.4's point is that the same SunRPC program (same XDR wire format,
+same stubs) runs over both transports — the stock UDP path for
+compatibility and the VMMC path for speed.  This example builds a small
+file server (lookup / read / write), serves the identical program over
+both, runs the same workload against each, and prints the side-by-side
+timings the paper's comparison is about.
+
+Run:  python examples/rpc_file_server.py
+"""
+
+import numpy as np
+
+from repro import Cluster, TestbedConfig
+from repro.rpc import (
+    RPCProgram,
+    SunRPCServer,
+    UDPRPCClient,
+    VRPCClient,
+    VRPCServer,
+    XdrDecoder,
+    XdrEncoder,
+)
+
+PROG, VERS = 0x2000_F11E, 1
+PROC_NULL, PROC_LOOKUP, PROC_READ, PROC_WRITE = 0, 1, 2, 3
+
+
+class FileStore:
+    """The server's in-memory filesystem."""
+
+    def __init__(self):
+        self.files: dict[str, bytearray] = {}
+
+    def program(self) -> RPCProgram:
+        prog = RPCProgram(PROG, VERS)
+        prog.register(PROC_NULL, lambda dec: b"")
+        prog.register(PROC_LOOKUP, self._lookup)
+        prog.register(PROC_READ, self._read)
+        prog.register(PROC_WRITE, self._write)
+        return prog
+
+    def _lookup(self, dec: XdrDecoder) -> bytes:
+        name = dec.unpack_string()
+        data = self.files.get(name)
+        enc = XdrEncoder().pack_bool(data is not None)
+        enc.pack_uint(len(data) if data is not None else 0)
+        return enc.getvalue()
+
+    def _read(self, dec: XdrDecoder) -> bytes:
+        name = dec.unpack_string()
+        offset = dec.unpack_uint()
+        count = dec.unpack_uint()
+        data = self.files.get(name, bytearray())[offset:offset + count]
+        return XdrEncoder().pack_opaque(bytes(data)).getvalue()
+
+    def _write(self, dec: XdrDecoder) -> bytes:
+        name = dec.unpack_string()
+        offset = dec.unpack_uint()
+        payload = dec.unpack_opaque()
+        blob = self.files.setdefault(name, bytearray())
+        if len(blob) < offset + len(payload):
+            blob.extend(b"\0" * (offset + len(payload) - len(blob)))
+        blob[offset:offset + len(payload)] = payload
+        return XdrEncoder().pack_uint(len(payload)).getvalue()
+
+
+def workload(env, client, tag, results):
+    """The same calls against either transport."""
+    t_start = env.now
+    # Write a 32 KB file in 8 KB pieces.
+    rng = np.random.default_rng(5)
+    contents = rng.integers(0, 256, 32 * 1024, dtype=np.uint8).tobytes()
+    for offset in range(0, len(contents), 8192):
+        piece = contents[offset:offset + 8192]
+        args = (XdrEncoder().pack_string("data.bin").pack_uint(offset)
+                .pack_opaque(piece).getvalue())
+        yield client.call(PROC_WRITE, args)
+    # Stat it.
+    dec = yield client.call(
+        PROC_LOOKUP, XdrEncoder().pack_string("data.bin").getvalue())
+    assert dec.unpack_bool() and dec.unpack_uint() == len(contents)
+    # Read it back and verify.
+    got = b""
+    for offset in range(0, len(contents), 8192):
+        args = (XdrEncoder().pack_string("data.bin").pack_uint(offset)
+                .pack_uint(8192).getvalue())
+        dec = yield client.call(PROC_READ, args)
+        got += dec.unpack_opaque()
+    assert got == contents, f"{tag}: corruption!"
+    # Null-call latency.
+    t0 = env.now
+    for _ in range(10):
+        yield client.call(PROC_NULL)
+    results[tag] = {
+        "workload_ms": (t0 - t_start) / 1e6,
+        "null_us": (env.now - t0) / 10 / 1000,
+    }
+
+
+def main() -> None:
+    cluster = Cluster.build(TestbedConfig(nnodes=2, memory_mb=32))
+    env = cluster.env
+    _, client_ep = cluster.nodes[0].attach_process("client")
+    _, server_ep = cluster.nodes[1].attach_process("server")
+
+    results = {}
+
+    # The VMMC-backed instance.
+    vmmc_store = FileStore()
+    vrpc_server = VRPCServer(server_ep, "node1", vmmc_store.program())
+
+    # The stock UDP instance of the *same program* on the same Ethernet
+    # the daemons already use.
+    udp_store = FileStore()
+    SunRPCServer(env, cluster.ether, "filesrv.udp", udp_store.program())
+    udp_client = UDPRPCClient(env, cluster.ether, "client.udp",
+                              "filesrv.udp", PROG, VERS)
+
+    def app():
+        chan = yield vrpc_server.accept(client_ep, "node0", "fs")
+        vrpc_client = VRPCClient(chan, PROG, VERS)
+        yield env.process(workload(env, vrpc_client, "vRPC/VMMC", results))
+        yield env.process(workload(env, udp_client, "SunRPC/UDP", results))
+
+    env.run(until=env.process(app()))
+
+    print(f"{'transport':>12} | {'32KB write+stat+read':>20} | "
+          f"{'null RPC':>9}")
+    print("-" * 50)
+    for tag in ("vRPC/VMMC", "SunRPC/UDP"):
+        r = results[tag]
+        print(f"{tag:>12} | {r['workload_ms']:17.2f} ms | "
+              f"{r['null_us']:6.1f} us")
+    speedup = results["SunRPC/UDP"]["null_us"] / \
+        results["vRPC/VMMC"]["null_us"]
+    print(f"\nvRPC null-call speedup over the commodity stack: "
+          f"{speedup:.1f}x (paper: 66 us vs hundreds)")
+
+
+if __name__ == "__main__":
+    main()

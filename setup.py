@@ -1,0 +1,4 @@
+"""Thin shim so editable installs work offline (no `wheel` available)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Contemporary Myrinet messaging layers (section 7's related work).
+
+Each baseline is implemented over the *same* simulated hardware as VMMC
+(PCI bus, LANai NIC, 160 MB/s fabric) with its documented protocol
+structure, so the section-7 comparison is apples-to-apples:
+
+* :mod:`myrinet_api` — Myricom's stock API: heavyweight library, buffer
+  copies on both sides, no flow control (63 µs latency, ≈30 MB/s).
+* :mod:`am` — Active Messages: request/reply pairs carrying a handler
+  address; one process per node assumed ("does not yet run on our
+  hardware" in the paper — our numbers are supplementary).
+* :mod:`fm` — Fast Messages 2.0: programmed-I/O sends of 128-byte
+  fragments (no sender-side pinning, PIO-bound bandwidth ≈33 MB/s),
+  receive-side handler copies, reliable delivery, no protection.
+* :mod:`pm` — PM: preallocated pinned send/receive buffers (8 KB transfer
+  units beat the page-size DMA limit: 118 MB/s pipelined, *excluding* the
+  sender-side copy), Modified ACK/NACK flow control, gang scheduling
+  required for protection.
+"""
+
+from repro.baselines.common import ProtocolPair
+from repro.baselines.myrinet_api import MyrinetAPIPair
+from repro.baselines.am import ActiveMessagesPair
+from repro.baselines.fm import FastMessagesPair
+from repro.baselines.pm import PMPair
+
+__all__ = [
+    "ActiveMessagesPair",
+    "FastMessagesPair",
+    "MyrinetAPIPair",
+    "PMPair",
+    "ProtocolPair",
+]

@@ -1,0 +1,155 @@
+"""PM from the Real World Computing Partnership (section 7).
+
+"In PM's model the user first allocates special send buffer space, then
+copies data into the buffer, and finally, sends the buffer contents to the
+destination node ...  PM can use transfer size bigger than a page size
+because it sends data only from special pre-allocated send buffers.  As a
+result, a user must often copy data on sender side before transmitting it.
+The cost of this copy is not included in the peak bandwidth number ...  PM
+achieves slightly lower latency than VMMC because it allows the current
+sender exclusive access to the network interface" (gang scheduling
+provides protection; channel state save/restore makes context switches
+expensive).
+
+Model highlights:
+
+* send buffers are *physically contiguous* pinned regions, so the NIC can
+  DMA 8 KB transfer units — beating the 4 KB page limit that caps VMMC,
+  hence 118 vs 98 MB/s pipelined;
+* the sender-side copy is parameterised (``include_copy``) so both the
+  paper's peak number (copy excluded) and the honest user-to-user number
+  (copy included) can be reported;
+* exclusive NIC access: no send-queue scanning, immediate pickup —
+  slightly lower small-message latency than VMMC (7.2 µs);
+* Modified ACK/NACK flow control with a credit window.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.sim import Store
+from repro.mem.buffers import UserBuffer
+from repro.baselines.common import ProtocolPair
+
+#: PM's transfer unit out of the preallocated send buffer.
+TRANSFER_UNIT = 8 * 1024
+#: Library cost per send (channel check, descriptor fill).
+TX_OVERHEAD_NS = 500
+#: Firmware pickup: exclusive access, no scanning.
+FIRMWARE_NS = 700
+#: Receive-side firmware + credit bookkeeping.
+RX_FIRMWARE_NS = 800
+#: Flow-control credit window (messages in flight before an ACK is needed).
+CREDIT_WINDOW = 16
+
+
+class PMPair(ProtocolPair):
+    """Two gang-scheduled nodes running PM."""
+
+    protocol = "pm"
+
+    def __init__(self, include_copy: bool = False, **kw):
+        self.include_copy = include_copy
+        self._inboxes = None
+        self._seq = itertools.count(1)
+        super().__init__(**kw)
+
+    def _start_firmware(self) -> None:
+        self._inboxes = [Store(self.env), Store(self.env)]
+        self._credits = [CREDIT_WINDOW, CREDIT_WINDOW]
+        self._credit_waiters: list[list] = [[], []]
+        self._partial: list[dict[int, int]] = [{}, {}]
+        for node in self.nodes:
+            self.env.process(self._recv_loop(node.index),
+                             name=f"pm.fw{node.index}")
+        # Preallocated, physically contiguous, pinned send buffers.
+        self._send_bufs = []
+        for node in self.nodes:
+            vaddr = node.space.mmap(256 * 1024, contiguous_physical=True)
+            node.space.pin_range(vaddr, 256 * 1024)
+            self._send_bufs.append(vaddr)
+
+    def _recv_loop(self, index: int):
+        node = self.nodes[index]
+        partial = self._partial[index]
+        while True:
+            packet = yield node.nic.net_recv.inbox.get()
+            if not packet.meta.get("crc_ok", True):
+                continue
+            if packet.header.kind == "pm_ack":
+                # An ACK arriving here replenishes *this* node's credits.
+                self._grant_credit(index, packet.header["count"])
+                continue
+            yield node.nic.processor.work_ns(RX_FIRMWARE_NS)
+            # DMA into the preallocated pinned receive buffer (contiguous:
+            # full transfer-unit DMAs).
+            yield node.nic.host_dma.write_host(packet.payload, 16384)
+            seq = packet.header["seq"]
+            got = partial.get(seq, 0) + packet.payload_bytes
+            if got >= packet.header["msg_length"]:
+                partial.pop(seq, None)
+                self._inboxes[index].put((seq, packet.header["msg_length"]))
+                # Modified ACK/NACK: acknowledge received messages in bulk.
+                ack = self.make_packet(index, "pm_ack", {"count": 1}, b"")
+                self.env.process(self._send_ack(node, ack),
+                                 name="pm.ack")
+            else:
+                partial[seq] = got
+
+    def _send_ack(self, node, ack):
+        yield node.nic.net_send.send(ack)
+
+    def _grant_credit(self, index: int, count: int) -> None:
+        self._credits[index] += count
+        waiters = self._credit_waiters[index]
+        while waiters and self._credits[index] > 0:
+            self._credits[index] -= 1
+            waiters.pop(0).succeed()
+
+    def _take_credit(self, index: int):
+        if self._credits[index] > 0:
+            self._credits[index] -= 1
+            event = self.env.event()
+            event.succeed()
+            return event
+        event = self.env.event()
+        self._credit_waiters[index].append(event)
+        return event
+
+    def deliveries(self, dst_index: int) -> Store:
+        return self._inboxes[dst_index]
+
+    def send(self, src_index: int, payload_buffer: UserBuffer, nbytes: int):
+        node = self.nodes[src_index]
+        seq = next(self._seq)
+
+        def run():
+            yield self.env.timeout(TX_OVERHEAD_NS)
+            if self.include_copy:
+                # The user copies into the preallocated send buffer — the
+                # cost PM's peak number excludes (section 7).
+                yield node.membus.bcopy(nbytes)
+            yield self._take_credit(src_index)
+            yield node.bus.mmio_write(3)  # descriptor: addr, len, doorbell
+            sent = 0
+            send_vaddr = self._send_bufs[src_index]
+            while sent < nbytes:
+                unit = min(TRANSFER_UNIT, nbytes - sent)
+                yield node.nic.processor.work_ns(FIRMWARE_NS)
+                # Contiguous pinned buffer: one DMA per 8 KB unit.
+                paddr = node.space.translate(
+                    send_vaddr + (sent % (256 * 1024 - unit + 1)))
+                yield node.nic.host_dma.to_sram(paddr, 0, unit)
+                payload = payload_buffer.read(
+                    sent % max(1, payload_buffer.nbytes - unit + 1), unit)
+                packet = self.make_packet(
+                    src_index, "pm_msg",
+                    {"seq": seq, "msg_length": nbytes, "offset": sent},
+                    payload)
+                # Network injection overlaps the next unit's host DMA (the
+                # net-send engine serialises packets in FIFO order).
+                node.nic.net_send.send(packet)
+                sent += unit
+
+        return self.env.process(run(), name="pm.send")

@@ -1,0 +1,33 @@
+"""Benchmark harness: the section-5 microbenchmarks as reusable drivers.
+
+:mod:`repro.bench.microbench` implements the paper's measurement
+methodology (ping-pong, one-way, bidirectional, send-overhead probes) over
+a simulated cluster; :mod:`repro.bench.report` renders the rows/series the
+paper's figures plot; the files in ``benchmarks/`` bind the two together,
+one per paper artifact.
+"""
+
+from repro.bench.microbench import (
+    BandwidthPoint,
+    LatencyPoint,
+    OverheadPoint,
+    VmmcPair,
+    vmmc_bidirectional_bandwidth,
+    vmmc_oneway_bandwidth,
+    vmmc_pingpong_latency,
+    vmmc_send_overhead,
+)
+from repro.bench.report import Series, format_table
+
+__all__ = [
+    "BandwidthPoint",
+    "LatencyPoint",
+    "OverheadPoint",
+    "Series",
+    "VmmcPair",
+    "format_table",
+    "vmmc_bidirectional_bandwidth",
+    "vmmc_oneway_bandwidth",
+    "vmmc_pingpong_latency",
+    "vmmc_send_overhead",
+]

@@ -1,0 +1,86 @@
+"""Latency breakdown: decompose one send into the section-5.2 stages.
+
+The paper's hardware-limit analysis adds up per-stage costs (post, LANai
+pickup/packet/DMA, wire, receive DMA).  This module reproduces that
+accounting *from traces of an actual simulated send* rather than from the
+cost constants, so it doubles as a consistency check: the stages must sum
+to the end-to-end latency the microbenchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Tracer
+from repro.bench.microbench import VmmcPair, _stamp, spin_until_stamp
+from repro.cluster import TestbedConfig
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Stage durations (µs) of one short one-way send."""
+
+    post_us: float            # library + PIO until the request is posted
+    lanai_send_us: float      # pickup → packet on the wire
+    wire_us: float            # injection → arrival at the far NIC
+    lanai_recv_us: float      # arrival → receive host-DMA start
+    deliver_us: float         # host DMA + spin observation
+    total_us: float
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("post request (library + PIO)", self.post_us),
+            ("sending LANai (pickup, header, net DMA)", self.lanai_send_us),
+            ("wire (links + switch)", self.wire_us),
+            ("receiving LANai + host DMA into memory",
+             self.lanai_recv_us),
+            ("spin observation (cache-line fill)", self.deliver_us),
+            ("TOTAL", self.total_us),
+        ]
+
+
+def measure_breakdown(size: int = 4) -> LatencyBreakdown:
+    """Run one traced short send on a fresh pair and decompose it."""
+    keep = ("vmmc.send.posted", "node0.lcp.send.pickup", "node0.pci.dma",
+            "lanai.netsend", "lanai.netrecv", "node1.pci.dma",
+            "node1.hostdma.write_host", "node1.lcp")
+
+    def keeper(category: str) -> bool:
+        return any(category.startswith(k) for k in keep)
+
+    pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=8),
+                    buffer_bytes=16 * 1024)
+    env = pair.env
+    tracer = Tracer(keep=keeper)
+    env.tracer = tracer
+    marks = {}
+
+    def app():
+        _stamp(pair.src_a, size, 1)
+        marks["call"] = env.now
+        yield pair.ep_a.send(pair.src_a, pair.to_b, size)
+        yield spin_until_stamp(pair.ep_b, pair.inbox_b, size, 1)
+        marks["observed"] = env.now
+
+    env.run(until=env.process(app()))
+
+    def first(category: str, after: int = 0) -> int:
+        for record in tracer:
+            if record.category.startswith(category) and record.time >= after:
+                return record.time
+        raise LookupError(f"no trace {category!r} after {after}")
+
+    posted = first("vmmc.send.posted")
+    pickup = first("node0.lcp.send.pickup")
+    injected = first("lanai.netsend", after=pickup)
+    arrived = first("lanai.netrecv", after=injected)
+    delivered = first("node1.hostdma.write_host", after=arrived)
+
+    return LatencyBreakdown(
+        post_us=(posted - marks["call"]) / 1000,
+        lanai_send_us=(injected - posted) / 1000,
+        wire_us=(arrived - injected) / 1000,
+        lanai_recv_us=(delivered - arrived) / 1000,
+        deliver_us=(marks["observed"] - delivered) / 1000,
+        total_us=(marks["observed"] - marks["call"]) / 1000,
+    )

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's measurements without touching pytest:
+
+===========  ===========================================================
+command      what it runs
+===========  ===========================================================
+latency      Figure 2 — ping-pong one-way latency sweep
+bandwidth    Figure 3 — one-way + bidirectional bandwidth sweep
+overhead     Figure 4 — sync/async send overhead sweep
+dma          Figure 1 — host↔LANai DMA bandwidth curve
+shootout     sections 6–7 — every protocol on identical hardware
+vrpc         section 5.4 — vRPC vs SunRPC/UDP
+sram         NIC SRAM accounting of a booted node
+===========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import VmmcPair
+from repro.bench.microbench import (
+    vmmc_bidirectional_bandwidth,
+    vmmc_oneway_bandwidth,
+    vmmc_pingpong_latency,
+    vmmc_send_overhead,
+)
+from repro.bench.report import Series, format_series, format_table
+from repro.cluster import Cluster, TestbedConfig
+
+
+def _sizes(text: str) -> list[int]:
+    return [int(s) for s in text.split(",") if s]
+
+
+def cmd_latency(args) -> int:
+    pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=16),
+                    buffer_bytes=max(args.sizes) * 4)
+    series = Series("VMMC one-way latency")
+    for size in args.sizes:
+        point = vmmc_pingpong_latency(pair, size, iterations=args.iters)
+        series.add(size, point.one_way_us)
+    print(format_series("Figure 2: VMMC latency for short messages",
+                        "bytes", "us", [series]))
+    return 0
+
+
+def cmd_bandwidth(args) -> int:
+    pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=32),
+                    buffer_bytes=max(max(args.sizes), 65536))
+    oneway = Series("one-way")
+    bidir = Series("bidirectional total")
+    for size in args.sizes:
+        oneway.add(size, vmmc_oneway_bandwidth(pair, size, args.iters).mbps)
+        bidir.add(size, vmmc_bidirectional_bandwidth(
+            pair, size, max(3, args.iters // 2)).mbps)
+    print(format_series("Figure 3: VMMC bandwidth", "bytes", "MB/s",
+                        [oneway, bidir]))
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=16),
+                    buffer_bytes=max(max(args.sizes), 16384))
+    sync = Series("sync")
+    async_ = Series("async")
+    for size in args.sizes:
+        sync.add(size, vmmc_send_overhead(
+            pair, size, synchronous=True, iterations=args.iters).overhead_us)
+        async_.add(size, vmmc_send_overhead(
+            pair, size, synchronous=False,
+            iterations=args.iters).overhead_us)
+    print(format_series("Figure 4: send overhead", "bytes", "us",
+                        [sync, async_]))
+    return 0
+
+
+def cmd_dma(args) -> int:
+    from repro.hw.bus.pci import PCIParams
+
+    params = PCIParams()
+    rows = [[size, f"{params.dma_bandwidth_mbps(size):.2f}"]
+            for size in args.sizes]
+    print(format_table("Figure 1: host<->LANai DMA bandwidth",
+                       ["block bytes", "MB/s"], rows))
+    return 0
+
+
+def cmd_shootout(args) -> int:
+    from examples import protocol_shootout  # pragma: no cover - thin
+
+    protocol_shootout.main()
+    return 0
+
+
+def cmd_vrpc(args) -> int:
+    from repro.rpc import (RPCProgram, VRPCClient, VRPCServer, XdrEncoder)
+
+    cluster = Cluster.build(TestbedConfig(nnodes=2, memory_mb=32))
+    env = cluster.env
+    _, client_ep = cluster.nodes[0].attach_process("client")
+    _, server_ep = cluster.nodes[1].attach_process("server")
+    prog = RPCProgram(0x20000001, 1)
+    prog.register(0, lambda dec: b"")
+    server = VRPCServer(server_ep, "node1", prog)
+    result = {}
+
+    def app():
+        chan = yield server.accept(client_ep, "node0", "cli")
+        client = VRPCClient(chan, prog.number, prog.version)
+        yield client.call(0)
+        t0 = env.now
+        for _ in range(args.iters):
+            yield client.call(0)
+        result["us"] = (env.now - t0) / args.iters / 1000
+
+    env.run(until=env.process(app()))
+    print(f"vRPC null round trip: {result['us']:.1f} us (paper: 66 us)")
+    return 0
+
+
+def cmd_breakdown(args) -> int:
+    from repro.bench.breakdown import measure_breakdown
+
+    b = measure_breakdown(args.size)
+    rows = [[name, f"{us:.2f}"] for name, us in b.rows()]
+    print(format_table(
+        f"Latency breakdown of a {args.size}-byte send (section 5.2)",
+        ["stage", "us"], rows))
+    return 0
+
+
+def cmd_sram(args) -> int:
+    cluster = Cluster.build(TestbedConfig(nnodes=2, memory_mb=16))
+    for i in range(args.processes):
+        cluster.nodes[0].attach_process(f"proc{i}")
+    usage = cluster.nodes[0].nic.sram_usage()
+    rows = [[region, size] for region, size in usage.items()]
+    rows.append(["TOTAL", sum(usage.values())])
+    print(format_table(
+        f"NIC SRAM usage, {args.processes} attached process(es) "
+        f"(board: 256 KB)", ["region", "bytes"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VMMC-on-Myrinet reproduction: run the paper's "
+                    "measurements from the command line.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lat = sub.add_parser("latency", help="Figure 2 latency sweep")
+    lat.add_argument("--sizes", type=_sizes, default=[4, 16, 64, 128, 256])
+    lat.add_argument("--iters", type=int, default=10)
+    lat.set_defaults(func=cmd_latency)
+
+    bw = sub.add_parser("bandwidth", help="Figure 3 bandwidth sweep")
+    bw.add_argument("--sizes", type=_sizes,
+                    default=[4096, 65536, 262144])
+    bw.add_argument("--iters", type=int, default=8)
+    bw.set_defaults(func=cmd_bandwidth)
+
+    ovh = sub.add_parser("overhead", help="Figure 4 overhead sweep")
+    ovh.add_argument("--sizes", type=_sizes, default=[4, 64, 128, 256, 1024])
+    ovh.add_argument("--iters", type=int, default=6)
+    ovh.set_defaults(func=cmd_overhead)
+
+    dma = sub.add_parser("dma", help="Figure 1 DMA curve")
+    dma.add_argument("--sizes", type=_sizes,
+                     default=[64, 256, 1024, 4096, 16384, 65536])
+    dma.set_defaults(func=cmd_dma)
+
+    shoot = sub.add_parser("shootout", help="sections 6-7 comparison")
+    shoot.set_defaults(func=cmd_shootout)
+
+    vrpc = sub.add_parser("vrpc", help="section 5.4 vRPC null call")
+    vrpc.add_argument("--iters", type=int, default=10)
+    vrpc.set_defaults(func=cmd_vrpc)
+
+    brk = sub.add_parser("breakdown",
+                         help="section 5.2 per-stage latency accounting")
+    brk.add_argument("--size", type=int, default=4)
+    brk.set_defaults(func=cmd_breakdown)
+
+    sram = sub.add_parser("sram", help="NIC SRAM accounting")
+    sram.add_argument("--processes", type=int, default=2)
+    sram.set_defaults(func=cmd_sram)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

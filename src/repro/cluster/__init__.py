@@ -1,0 +1,14 @@
+"""Cluster assembly: nodes, topologies, and the boot sequence.
+
+:class:`Cluster` reproduces the paper's testbed in one call: four PCI PCs
+(166 MHz Pentium, 64 MB EDO, Intel 430FX) with M2F-PCI32 interfaces on one
+M2F-SW8 switch, plus the Ethernet control network — then boots it (network
+mapping → VMMC LCPs → daemons) so user code can attach processes and
+communicate.
+"""
+
+from repro.cluster.config import TestbedConfig
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster
+
+__all__ = ["Cluster", "Node", "TestbedConfig"]

@@ -1,0 +1,76 @@
+"""Cluster builder + boot orchestration."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import Environment
+from repro.hw.myrinet.network import MyrinetNetwork
+from repro.hostos.ethernet import EthernetNetwork
+from repro.vmmc.mapping_lcp import MappingPhase, MappingResult
+from repro.cluster.config import TestbedConfig
+from repro.cluster.node import Node
+
+
+class Cluster:
+    """A bootable simulated cluster.
+
+    Usage::
+
+        cluster = Cluster.build()        # 4-node paper testbed, booted
+        env = cluster.env
+        p0, ep0 = cluster.nodes[0].attach_process("sender")
+        p1, ep1 = cluster.nodes[1].attach_process("receiver")
+        ... run application generators with env.process / env.run ...
+    """
+
+    def __init__(self, env: Environment, config: TestbedConfig):
+        self.env = env
+        self.config = config
+        if config.topology == "single_switch":
+            self.fabric = MyrinetNetwork.single_switch(
+                env, config.nnodes, config.link)
+        elif config.topology == "dual_switch":
+            self.fabric = MyrinetNetwork.dual_switch(
+                env, config.nnodes, config.link)
+        else:
+            raise ValueError(f"unknown topology {config.topology!r}")
+        self.ether = EthernetNetwork(env, config.ethernet)
+        self.nodes = [
+            Node(env, f"node{i}", i, self.fabric, self.ether, config)
+            for i in range(config.nnodes)
+        ]
+        self.mapping: Optional[MappingResult] = None
+
+    def boot(self) -> MappingResult:
+        """Run the mapping phase, then start every node's LCP + daemon.
+
+        Mirrors the section-4.3 life cycle: mapping LCP first, replaced by
+        the VMMC LCP with static routing tables.
+        """
+        phase = MappingPhase(self.env, self.fabric,
+                             {n.name: n.nic for n in self.nodes})
+        mapping_proc = phase.run()
+        result = self.env.run(until=mapping_proc)
+        for node in self.nodes:
+            node.boot(result.routes[node.name])
+        self.mapping = result
+        return result
+
+    @classmethod
+    def build(cls, config: TestbedConfig | None = None,
+              env: Environment | None = None) -> "Cluster":
+        """Construct and boot a cluster (defaults: the paper's testbed)."""
+        cluster = cls(env or Environment(), config or TestbedConfig())
+        cluster.boot()
+        return cluster
+
+    def node(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def sram_usage(self) -> dict[str, dict[str, int]]:
+        """Per-node NIC SRAM accounting (section-6 resource costs)."""
+        return {n.name: n.nic.sram_usage() for n in self.nodes}

@@ -1,0 +1,29 @@
+"""Host operating-system substrate (Linux 2.0-era, paper section 5.1).
+
+The paper needed only minimal OS support: page lock/unlock, virtual→
+physical translation inside a loadable driver, interrupt dispatch, and
+signal-based notification delivery.  This package models those services
+with realistic costs on the 166 MHz Pentium testbed:
+
+* :class:`Kernel` — interrupt entry/exit, syscall overhead, driver
+  registry, page locking.
+* :class:`UserProcess` — identity + address space + signal handlers.
+* :class:`DeviceDriver` — base class for loadable modules (the VMMC
+  driver lives in :mod:`repro.vmmc.driver`).
+* :class:`EthernetNetwork` — the commodity 10/100 Mb Ethernet the VMMC
+  daemons use as their control channel for export/import matchmaking.
+"""
+
+from repro.hostos.kernel import Kernel, KernelParams
+from repro.hostos.process import UserProcess
+from repro.hostos.driver import DeviceDriver
+from repro.hostos.ethernet import EthernetNetwork, EthernetParams
+
+__all__ = [
+    "DeviceDriver",
+    "EthernetNetwork",
+    "EthernetParams",
+    "Kernel",
+    "KernelParams",
+    "UserProcess",
+]

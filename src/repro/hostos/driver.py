@@ -1,0 +1,37 @@
+"""Loadable device-driver framework.
+
+"Loadable kernel modules proved to be a useful and powerful feature of
+Linux" (section 5.1) — all new kernel-level code in the paper lives in one
+loadable driver.  :class:`DeviceDriver` gives concrete drivers (the VMMC
+driver, the baseline protocols' drivers) a uniform shape: an ISR entry
+point the NIC's interrupt line calls, plus access to kernel services.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim import Environment
+from repro.hostos.kernel import Kernel
+
+
+class DeviceDriver:
+    """Base class for loadable drivers."""
+
+    def __init__(self, env: Environment, kernel: Kernel, name: str):
+        self.env = env
+        self.kernel = kernel
+        self.name = name
+
+    def isr(self, reason: str, payload: Any):
+        """Interrupt entry point.  Subclasses override :meth:`handle_irq`;
+        this wrapper charges kernel dispatch cost around it.
+
+        Returns a simulation process whose value is the handler's result.
+        """
+        return self.kernel.service_interrupt(
+            lambda: self.handle_irq(reason, payload))
+
+    def handle_irq(self, reason: str, payload: Any):
+        """Driver-specific interrupt work (generator or plain callable)."""
+        raise NotImplementedError

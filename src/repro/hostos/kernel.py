@@ -1,0 +1,140 @@
+"""Kernel services: interrupts, syscalls, page locking, signal delivery.
+
+Costs are for Linux 2.0 on a 166 MHz Pentium.  They matter to the paper in
+two places: the software-TLB-miss path (interrupt + driver work — expensive
+enough that the microbenchmarks ensure translations are present, section
+5.3), and notification delivery via signals (tens of microseconds, which is
+why data-only transfers avoiding receiver involvement are the fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim import Environment
+from repro.sim.trace import emit
+from repro.mem.virtual import AddressSpace
+from repro.hostos.process import UserProcess
+
+#: Signal number used for VMMC notifications (SIGIO in the real driver).
+SIGIO = 29
+
+
+@dataclass(frozen=True)
+class KernelParams:
+    """Kernel path costs (defaults: Linux 2.0 / P166)."""
+
+    #: Interrupt entry: vector through the IDT, save state, reach the ISR.
+    irq_entry_ns: int = 2_500
+    #: Interrupt exit: restore state, iret.
+    irq_exit_ns: int = 1_500
+    #: A trivial syscall (trap + return).
+    syscall_ns: int = 4_000
+    #: Locking one page in memory (mlock-style, per page).
+    lock_page_ns: int = 1_800
+    #: Looking up one virtual→physical translation in the page tables.
+    translate_ns: int = 700
+    #: Delivering a signal to a user process and running its handler
+    #: prologue (stack switch, sigreturn) — the notification cost floor.
+    signal_delivery_ns: int = 25_000
+
+
+class Kernel:
+    """Kernel of one node."""
+
+    def __init__(self, env: Environment, name: str = "kernel",
+                 params: KernelParams | None = None):
+        self.env = env
+        self.name = name
+        self.params = params or KernelParams()
+        self.interrupts_serviced = 0
+        self.signals_delivered = 0
+
+    # -- interrupts ------------------------------------------------------------
+    def service_interrupt(self, isr: Callable[[], Any]):
+        """Process: dispatch an interrupt to ``isr`` (a generator function
+        or plain callable); the process value is the ISR's result."""
+        def run():
+            yield self.env.timeout(self.params.irq_entry_ns)
+            self.interrupts_serviced += 1
+            emit(self.env, f"{self.name}.irq.enter")
+            result = isr()
+            if hasattr(result, "__next__"):
+                result = yield self.env.process(result)
+            yield self.env.timeout(self.params.irq_exit_ns)
+            emit(self.env, f"{self.name}.irq.exit")
+            return result
+
+        return self.env.process(run(), name=f"{self.name}.irq")
+
+    # -- syscalls ------------------------------------------------------------------
+    def syscall(self, work_ns: int = 0):
+        """Process: charge one syscall plus ``work_ns`` of kernel work."""
+        def run():
+            yield self.env.timeout(self.params.syscall_ns + work_ns)
+
+        return self.env.process(run(), name=f"{self.name}.syscall")
+
+    def lock_pages(self, space: AddressSpace, vaddr: int, nbytes: int):
+        """Process: pin a virtual range; value is the list of frame numbers.
+
+        This is the "calls to lock and unlock pages in physical memory"
+        the paper found Linux already provided (section 5.1).
+        """
+        def run():
+            frames = space.pin_range(vaddr, nbytes)
+            yield self.env.timeout(
+                self.params.syscall_ns
+                + self.params.lock_page_ns * len(frames))
+            return frames
+
+        return self.env.process(run(), name=f"{self.name}.lock_pages")
+
+    def unlock_pages(self, space: AddressSpace, vaddr: int, nbytes: int):
+        def run():
+            space.unpin_range(vaddr, nbytes)
+            yield self.env.timeout(self.params.syscall_ns)
+
+        return self.env.process(run(), name=f"{self.name}.unlock_pages")
+
+    def translate_range(self, space: AddressSpace, vaddr: int, npages: int):
+        """Process: kernel-side V→P translation of up to ``npages`` pages
+        starting at ``vaddr``'s page; value is [(vpage, paddr_of_page)].
+
+        This is the one function the paper added to the kernel interface
+        via the loadable driver (section 5.1).
+        """
+        from repro.mem.virtual import PAGE_SIZE, page_round_down
+
+        def run():
+            base = page_round_down(vaddr)
+            pairs = []
+            for i in range(npages):
+                va = base + i * PAGE_SIZE
+                if not space.mapped(va):
+                    break
+                pairs.append((va // PAGE_SIZE, space.translate(va)))
+            yield self.env.timeout(self.params.translate_ns * max(1, len(pairs)))
+            return pairs
+
+        return self.env.process(run(), name=f"{self.name}.translate")
+
+    # -- signals ------------------------------------------------------------------------
+    def deliver_signal(self, process: UserProcess, signo: int,
+                       payload: Any = None):
+        """Process: deliver a signal; runs the registered handler (which
+        may itself be a generator and take simulated time)."""
+        def run():
+            yield self.env.timeout(self.params.signal_delivery_ns)
+            self.signals_delivered += 1
+            process.signals_received.append((signo, payload))
+            handler = process.signal_handler(signo)
+            emit(self.env, f"{self.name}.signal", signo=signo,
+                 pid=process.pid)
+            if handler is not None:
+                result = handler(payload)
+                if hasattr(result, "__next__"):
+                    yield self.env.process(result)
+
+        return self.env.process(run(), name=f"{self.name}.signal")

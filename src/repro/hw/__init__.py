@@ -1,0 +1,7 @@
+"""Hardware models: buses, the Myrinet fabric, the LANai NIC, SHRIMP.
+
+Everything in this package charges **time** (integer nanoseconds) through
+the discrete-event engine and moves **real bytes** (numpy arrays) between
+byte-accurate memories, so both performance shape and data integrity are
+simulated, not asserted.
+"""

@@ -1,0 +1,14 @@
+"""I/O and memory bus models (PCI, EISA, host memory bus)."""
+
+from repro.hw.bus.pci import PCIBus, PCIParams
+from repro.hw.bus.eisa import EISABus, EISAParams
+from repro.hw.bus.membus import MemoryBus, MemoryBusParams
+
+__all__ = [
+    "EISABus",
+    "EISAParams",
+    "MemoryBus",
+    "MemoryBusParams",
+    "PCIBus",
+    "PCIParams",
+]

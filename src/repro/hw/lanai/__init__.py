@@ -1,0 +1,30 @@
+"""LANai 4.1 network-interface hardware (paper section 3).
+
+The Myrinet PCI interface (M2F-PCI32) comprises:
+
+* a 33 MHz LANai control processor running the LANai Control Program,
+* 256 KB of SRAM holding the LCP's code/data, send queues, page tables,
+  the software TLB and packet staging buffers,
+* three DMA engines — host↔SRAM over PCI, SRAM→network, network→SRAM —
+  on an internal bus clocked at 2× the CPU so the two network engines can
+  run concurrently with the processor.
+
+The LCP itself is *software* and lives in :mod:`repro.vmmc.lcp`; this
+package is the hardware it runs on.
+"""
+
+from repro.hw.lanai.sram import SRAM, SRAMExhausted, SRAMRegion
+from repro.hw.lanai.processor import LANaiProcessor
+from repro.hw.lanai.dma import HostDMAEngine, NetRecvEngine, NetSendEngine
+from repro.hw.lanai.nic import LanaiNIC
+
+__all__ = [
+    "HostDMAEngine",
+    "LANaiProcessor",
+    "LanaiNIC",
+    "NetRecvEngine",
+    "NetSendEngine",
+    "SRAM",
+    "SRAMExhausted",
+    "SRAMRegion",
+]

@@ -1,0 +1,99 @@
+"""Myrinet link: 160 MB/s per direction, cut-through, in-order, lossless.
+
+A :class:`Link` is unidirectional (full-duplex cables are two links).  We
+model wormhole cut-through at packet granularity: the head of the packet
+reaches the far end after the propagation latency, the tail after the
+packet's wire time (``wire_bytes / rate``), and the link is occupied for
+the wire time — so back-to-back packets pipeline correctly and a busy link
+exerts back-pressure (the send blocks until the previous packet's tail has
+left).
+
+Bit errors are injected by an optional error process with the paper's
+"very rare, clustered" character (section 4.2): a Bernoulli draw per packet
+under normal operation, or a burst when a simulated hardware fault is
+switched on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim import Environment, Resource
+from repro.sim.trace import emit
+from repro.hw.myrinet.packet import MyrinetPacket
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Per-link timing and error parameters."""
+
+    #: 1.28 Gb/s = 160 MB/s = 0.16 bytes/ns → 6.25 ns per byte.
+    ns_per_kb: int = 6250
+    #: Cable propagation + SAN interface latency per traversal.
+    latency_ns: int = 100
+    #: Per-packet corruption probability (paper: BER below 1e-15; the
+    #: default 0 keeps normal runs error-free, tests raise it).
+    error_rate: float = 0.0
+
+    def wire_time_ns(self, wire_bytes: int) -> int:
+        return max(1, (wire_bytes * self.ns_per_kb) // 1000)
+
+
+class Link:
+    """Unidirectional link from a source port to a sink callable.
+
+    The sink is ``receive(packet)`` on a switch input port or a NIC; it is
+    invoked (as a new process) when the packet **tail** arrives, i.e. when
+    the packet is fully deliverable to the next stage's buffer.
+    """
+
+    def __init__(self, env: Environment, params: LinkParams | None = None,
+                 name: str = "link", rng: Optional[np.random.Generator] = None):
+        self.env = env
+        self.params = params or LinkParams()
+        self.name = name
+        self.sink: Optional[Callable[[MyrinetPacket], object]] = None
+        self._wire = Resource(env, capacity=1)
+        self._rng = rng or np.random.default_rng(0)
+        self.packets_carried = 0
+        self.bytes_carried = 0
+        self.errors_injected = 0
+
+    def connect(self, sink: Callable[[MyrinetPacket], object]) -> None:
+        self.sink = sink
+
+    def transmit(self, packet: MyrinetPacket):
+        """Process: put ``packet`` on the wire; completes when the **tail**
+        has left this end (so the sender's DMA engine frees up), while
+        delivery to the sink happens ``latency`` later."""
+        if self.sink is None:
+            raise RuntimeError(f"{self.name}: link not connected")
+
+        def run():
+            with self._wire.request() as req:
+                yield req
+                wire_time = self.params.wire_time_ns(packet.wire_bytes)
+                emit(self.env, f"{self.name}.tx",
+                     bytes=packet.wire_bytes, wire_time=wire_time)
+                if self.params.error_rate > 0 and \
+                        self._rng.random() < self.params.error_rate:
+                    packet.corrupt(bit=int(self._rng.integers(0, 1 << 16)))
+                    self.errors_injected += 1
+                self.packets_carried += 1
+                self.bytes_carried += packet.wire_bytes
+                yield self.env.timeout(wire_time)
+            # Tail has left this end; head+latency delivery downstream.
+            self.env.process(self._deliver(packet),
+                             name=f"{self.name}.deliver")
+
+        return self.env.process(run(), name=f"{self.name}.tx")
+
+    def _deliver(self, packet: MyrinetPacket):
+        yield self.env.timeout(self.params.latency_ns)
+        result = self.sink(packet)
+        if hasattr(result, "__next__"):
+            # Sink is a generator — run it as a process.
+            yield self.env.process(result)

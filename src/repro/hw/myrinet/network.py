@@ -1,0 +1,186 @@
+"""Topology container: hosts, switches, cables, and route computation.
+
+The network-mapping LCP of section 4.3 discovers the topology at boot and
+builds static routing tables.  Our fabric object *is* the ground truth the
+mapping LCP discovers: it holds the device graph (networkx) and can compute
+the source-route byte string between any two hosts — but protocol code
+never calls :meth:`compute_route` directly; it goes through the mapping LCP
+(:mod:`repro.vmmc.mapping_lcp`) exactly as the paper's daemons do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import networkx as nx
+
+from repro.sim import Environment
+from repro.hw.myrinet.link import Link, LinkParams
+from repro.hw.myrinet.packet import MyrinetPacket
+from repro.hw.myrinet.switch import Switch
+
+
+@dataclass
+class PortRef:
+    """A (device name, port number) endpoint of a cable."""
+
+    device: str
+    port: int = 0
+
+
+@dataclass
+class _HostPort:
+    """A host attachment point: one full-duplex cable to the fabric."""
+
+    name: str
+    out_link: Optional[Link] = None
+    sink: Optional[Callable[[MyrinetPacket], object]] = None
+    queued: list = field(default_factory=list)
+
+    def receive(self, packet: MyrinetPacket):
+        if self.sink is None:
+            # NIC not attached yet (e.g. during fabric construction).
+            self.queued.append(packet)
+            return None
+        return self.sink(packet)
+
+
+class MyrinetNetwork:
+    """The switched fabric: devices, cables, and route computation."""
+
+    def __init__(self, env: Environment, link_params: LinkParams | None = None):
+        self.env = env
+        self.link_params = link_params or LinkParams()
+        self.graph = nx.Graph()
+        self.switches: dict[str, Switch] = {}
+        self.hosts: dict[str, _HostPort] = {}
+        self._links: list[Link] = []
+        self._link_seed = 0
+
+    # -- construction ---------------------------------------------------------
+    def add_switch(self, name: str, nports: int = 8) -> Switch:
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate device name {name!r}")
+        switch = Switch(self.env, nports=nports, name=name)
+        self.switches[name] = switch
+        self.graph.add_node(name, kind="switch")
+        return switch
+
+    def add_host(self, name: str) -> str:
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate device name {name!r}")
+        self.hosts[name] = _HostPort(name)
+        self.graph.add_node(name, kind="host")
+        return name
+
+    def attach_host_sink(self, name: str,
+                         sink: Callable[[MyrinetPacket], object]) -> None:
+        """Register the NIC's receive entry point for host ``name``."""
+        port = self.hosts[name]
+        port.sink = sink
+        for packet in port.queued:
+            result = sink(packet)
+            if hasattr(result, "__next__"):
+                self.env.process(result)
+        port.queued.clear()
+
+    def connect(self, a: PortRef, b: PortRef,
+                link_params: LinkParams | None = None) -> None:
+        """Run a full-duplex cable between two endpoints."""
+        import numpy as np
+
+        params = link_params or self.link_params
+        # Distinct RNG streams per link: two hops must never flip the same
+        # bit and silently cancel an injected error.
+        self._link_seed += 2
+        link_ab = Link(self.env, params, name=f"{a.device}->{b.device}",
+                       rng=np.random.default_rng(self._link_seed))
+        link_ba = Link(self.env, params, name=f"{b.device}->{a.device}",
+                       rng=np.random.default_rng(self._link_seed + 1))
+        self._links += [link_ab, link_ba]
+        link_ab.connect(self._sink_of(b))
+        link_ba.connect(self._sink_of(a))
+        self._outlet_of(a, link_ab)
+        self._outlet_of(b, link_ba)
+        self.graph.add_edge(a.device, b.device,
+                            ports={a.device: a.port, b.device: b.port})
+
+    def _sink_of(self, ref: PortRef) -> Callable[[MyrinetPacket], object]:
+        if ref.device in self.switches:
+            return self.switches[ref.device].receive
+        return self.hosts[ref.device].receive
+
+    def _outlet_of(self, ref: PortRef, link: Link) -> None:
+        if ref.device in self.switches:
+            self.switches[ref.device].attach_output(ref.port, link)
+        else:
+            host = self.hosts[ref.device]
+            if host.out_link is not None:
+                raise ValueError(f"host {ref.device} already cabled")
+            host.out_link = link
+
+    # -- use ------------------------------------------------------------------------
+    def inject(self, host: str, packet: MyrinetPacket):
+        """Process: host NIC puts a packet on its outgoing cable."""
+        out = self.hosts[host].out_link
+        if out is None:
+            raise RuntimeError(f"host {host} is not cabled to the fabric")
+        packet.injected_at = self.env.now
+        return out.transmit(packet)
+
+    def compute_route(self, src: str, dst: str) -> list[int]:
+        """Source-route bytes (one per switch hop) from ``src`` to ``dst``.
+
+        Ground truth used by the mapping LCP; raises if no path exists.
+        """
+        if src == dst:
+            return []
+        path = nx.shortest_path(self.graph, src, dst)
+        route: list[int] = []
+        for here, there in zip(path[1:-1], path[2:]):
+            # 'here' is a switch; find its output port toward 'there'.
+            ports = self.graph.edges[here, there]["ports"]
+            route.append(ports[here])
+        # Sanity: intermediate nodes must all be switches.
+        for node in path[1:-1]:
+            if node not in self.switches:
+                raise ValueError(
+                    f"path {path} routes through host {node}")
+        return route
+
+    def hop_count(self, src: str, dst: str) -> int:
+        return len(nx.shortest_path(self.graph, src, dst)) - 1
+
+    @property
+    def host_names(self) -> list[str]:
+        return sorted(self.hosts)
+
+    # -- canned topologies ---------------------------------------------------------
+    @classmethod
+    def single_switch(cls, env: Environment, nhosts: int,
+                      link_params: LinkParams | None = None,
+                      switch_ports: int = 8) -> "MyrinetNetwork":
+        """The paper's testbed: N hosts on one M2F-SW8 switch."""
+        if nhosts > switch_ports:
+            raise ValueError("more hosts than switch ports")
+        net = cls(env, link_params)
+        net.add_switch("sw0", nports=switch_ports)
+        for i in range(nhosts):
+            name = net.add_host(f"node{i}")
+            net.connect(PortRef(name, 0), PortRef("sw0", i))
+        return net
+
+    @classmethod
+    def dual_switch(cls, env: Environment, nhosts: int,
+                    link_params: LinkParams | None = None) -> "MyrinetNetwork":
+        """Two cascaded 8-port switches (tests multi-hop routing)."""
+        net = cls(env, link_params)
+        net.add_switch("sw0")
+        net.add_switch("sw1")
+        net.connect(PortRef("sw0", 7), PortRef("sw1", 7))
+        for i in range(nhosts):
+            name = net.add_host(f"node{i}")
+            switch = "sw0" if i < nhosts // 2 else "sw1"
+            net.connect(PortRef(name, 0), PortRef(switch, i % 7))
+        return net

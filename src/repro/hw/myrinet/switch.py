@@ -1,0 +1,64 @@
+"""Myrinet crossbar switch (the testbed used the 8-port M2F-SW8).
+
+Source routing: each arriving packet surrenders one route byte naming the
+output port.  The crossbar is non-blocking — distinct output ports forward
+concurrently — but each output port serialises (back-pressure), modelled by
+a per-port resource.  Cut-through adds a small per-hop latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import Environment, Resource
+from repro.sim.trace import emit
+from repro.hw.myrinet.link import Link
+from repro.hw.myrinet.packet import MyrinetPacket
+
+#: Per-hop cut-through latency of the crossbar (Myricom quotes ~550 ns
+#: including fall-through on this generation of switches).
+SWITCH_LATENCY_NS = 550
+
+
+class Switch:
+    """An ``nports``-port crossbar with source routing."""
+
+    def __init__(self, env: Environment, nports: int = 8,
+                 name: str = "switch", latency_ns: int = SWITCH_LATENCY_NS):
+        self.env = env
+        self.nports = nports
+        self.name = name
+        self.latency_ns = latency_ns
+        self._out_links: list[Optional[Link]] = [None] * nports
+        self._out_ports = [Resource(env, capacity=1) for _ in range(nports)]
+        self.packets_forwarded = 0
+        self.drops = 0
+
+    def attach_output(self, port: int, link: Link) -> None:
+        """Connect the outgoing side of ``port`` to a link."""
+        self._check_port(port)
+        self._out_links[port] = link
+
+    def receive(self, packet: MyrinetPacket):
+        """Sink for incoming links: route and forward (generator)."""
+        port = packet.next_port()
+        self._check_port(port)
+        link = self._out_links[port]
+        if link is None:
+            # Route byte names an unconnected port: the worm is dropped by
+            # the hardware (this is what the mapping phase repairs).
+            self.drops += 1
+            emit(self.env, f"{self.name}.drop", port=port)
+            return
+        with self._out_ports[port].request() as req:
+            yield req
+            yield self.env.timeout(self.latency_ns)
+            self.packets_forwarded += 1
+            emit(self.env, f"{self.name}.forward", port=port,
+                 bytes=packet.wire_bytes)
+            yield link.transmit(packet)
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.nports:
+            raise ValueError(
+                f"{self.name}: port {port} out of range 0..{self.nports - 1}")

@@ -1,0 +1,16 @@
+"""SHRIMP network-interface hardware (the paper's comparison platform).
+
+SHRIMP attaches to the EISA bus and implements deliberate-update initiation
+**in hardware**: the destination proxy space is part of the sender's
+virtual address space, virtual-memory mappings verify permissions and
+translate addresses, and a user process starts a transfer with just two
+memory-mapped I/O instructions (section 6).  The price: a custom board, a
+memory-bus snooping card, and more OS modifications (proxy mappings
+maintained by the kernel, state-machine invalidation on context switch).
+"""
+
+from repro.hw.shrimp.nic import ShrimpNIC, ShrimpParams
+from repro.hw.shrimp.snoop import AutomaticUpdateUnit, SnoopParams
+
+__all__ = ["AutomaticUpdateUnit", "ShrimpNIC", "ShrimpParams",
+           "SnoopParams"]

@@ -1,0 +1,47 @@
+"""Host memory substrate: physical frames, virtual address spaces, pinning.
+
+VMMC's whole design is shaped by the virtual-memory reality of the host
+(paper section 5.2): user buffers live in *virtual* memory whose consecutive
+pages are usually **not** physically contiguous, so any zero-copy transfer
+engine is limited to page-sized (4 KB) DMA transfer units, and every page
+touched by the NIC must be pinned (locked) so the frame cannot move.
+
+This package models exactly that:
+
+* :class:`PhysicalMemory` — a byte-accurate numpy-backed memory with a frame
+  allocator that *deliberately scatters* allocations so that virtually
+  contiguous pages get non-contiguous frames, like a real, long-running OS.
+* :class:`AddressSpace` — per-process virtual memory with a page table,
+  translation, region allocation and read/write access in virtual terms.
+* :class:`UserBuffer` — a typed handle on a virtual region, the object user
+  programs pass to the communication libraries.
+* pin/unpin accounting on both the frame and the address-space level.
+"""
+
+from repro.mem.physical import Frame, OutOfMemoryError, PhysicalMemory
+from repro.mem.virtual import (
+    AddressSpace,
+    PAGE_SIZE,
+    PageFault,
+    ProtectionError,
+    page_offset,
+    page_round_down,
+    page_round_up,
+    vpage_of,
+)
+from repro.mem.buffers import UserBuffer
+
+__all__ = [
+    "AddressSpace",
+    "Frame",
+    "OutOfMemoryError",
+    "PAGE_SIZE",
+    "PageFault",
+    "PhysicalMemory",
+    "ProtectionError",
+    "UserBuffer",
+    "page_offset",
+    "page_round_down",
+    "page_round_up",
+    "vpage_of",
+]

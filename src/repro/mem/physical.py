@@ -1,0 +1,202 @@
+"""Byte-accurate physical memory with a fragmenting frame allocator.
+
+The testbed machines had 64 MB of EDO DRAM (paper section 5.1).  We model
+physical memory as a numpy ``uint8`` array indexed by physical address, plus
+a frame allocator.  The allocator hands out frames in a *scattered* order on
+purpose: a stride-permuted sequence, so that two frames allocated
+back-to-back are almost never physically adjacent.  That reproduces the
+fragmentation of a long-running system and makes the paper's central
+hardware limitation structural — DMA transfer units cannot exceed one page
+because "consecutive pages in virtual memory are usually not consecutive in
+the physical address space" (section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class OutOfMemoryError(MemoryError):
+    """No free physical frames remain."""
+
+
+@dataclass
+class Frame:
+    """One physical page frame."""
+
+    number: int
+    pin_count: int = 0
+    owner: Optional[str] = None
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+
+def _scatter_order(nframes: int, stride: int = 41) -> list[int]:
+    """A permutation of frame numbers that scatters consecutive picks.
+
+    Uses a stride co-prime with ``nframes`` so that the sequence visits
+    every frame exactly once while neighbouring picks land ``stride`` frames
+    apart — mimicking the free-list of a fragmented system.
+    """
+    if nframes <= 0:
+        return []
+    while _gcd(stride, nframes) != 1:
+        stride += 1
+    return [(i * stride) % nframes for i in range(nframes)]
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+class PhysicalMemory:
+    """Physical memory: data array + frame allocation + pinning."""
+
+    def __init__(self, size_bytes: int, page_size: int = 4096,
+                 scatter: bool = True, reserved_frames: int = 0):
+        if size_bytes % page_size != 0:
+            raise ValueError("memory size must be a whole number of pages")
+        self.size = size_bytes
+        self.page_size = page_size
+        self.nframes = size_bytes // page_size
+        self.data = np.zeros(size_bytes, dtype=np.uint8)
+        self.frames = [Frame(i) for i in range(self.nframes)]
+        # reserved_frames models kernel-owned low memory never given to users.
+        order = (_scatter_order(self.nframes) if scatter
+                 else list(range(self.nframes)))
+        self._free = [f for f in order if f >= reserved_frames]
+        self._allocated: set[int] = set()
+        self._watches: list[tuple[int, int, object]] = []
+
+    # -- allocation ---------------------------------------------------------
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    def alloc_frame(self, owner: Optional[str] = None) -> Frame:
+        """Allocate one frame (scattered order)."""
+        if not self._free:
+            raise OutOfMemoryError(
+                f"out of physical memory ({self.nframes} frames)")
+        number = self._free.pop(0)
+        self._allocated.add(number)
+        frame = self.frames[number]
+        frame.owner = owner
+        return frame
+
+    def alloc_frames(self, count: int, owner: Optional[str] = None
+                     ) -> list[Frame]:
+        if count > len(self._free):
+            raise OutOfMemoryError(
+                f"requested {count} frames, only {len(self._free)} free")
+        return [self.alloc_frame(owner) for _ in range(count)]
+
+    def alloc_contiguous(self, count: int, owner: Optional[str] = None
+                         ) -> list[Frame]:
+        """Allocate physically *contiguous* frames (driver-reserved memory).
+
+        This is what a driver-preallocated buffer pool would use — the
+        alternative design the paper rejects in section 5.1 because it
+        cannot support sends from static user data structures.
+        """
+        free = sorted(self._free)
+        run_start = 0
+        for i in range(1, len(free) + 1):
+            if i == len(free) or free[i] != free[i - 1] + 1:
+                if i - run_start >= count:
+                    chosen = free[run_start:run_start + count]
+                    for n in chosen:
+                        self._free.remove(n)
+                        self._allocated.add(n)
+                        self.frames[n].owner = owner
+                    return [self.frames[n] for n in chosen]
+                run_start = i
+        raise OutOfMemoryError(
+            f"no contiguous run of {count} frames available")
+
+    def free_frame(self, frame: Frame) -> None:
+        if frame.number not in self._allocated:
+            raise ValueError(f"frame {frame.number} is not allocated")
+        if frame.pinned:
+            raise ValueError(f"cannot free pinned frame {frame.number}")
+        self._allocated.discard(frame.number)
+        frame.owner = None
+        self._free.append(frame.number)
+
+    # -- pinning --------------------------------------------------------------
+    def pin(self, frame_number: int) -> None:
+        """Pin a frame (lock it in memory); pins nest."""
+        self.frames[frame_number].pin_count += 1
+
+    def unpin(self, frame_number: int) -> None:
+        frame = self.frames[frame_number]
+        if frame.pin_count == 0:
+            raise ValueError(f"frame {frame_number} is not pinned")
+        frame.pin_count -= 1
+
+    @property
+    def pinned_frames(self) -> int:
+        return sum(1 for f in self.frames if f.pinned)
+
+    # -- data access (by physical address) -----------------------------------
+    def read(self, paddr: int, nbytes: int) -> np.ndarray:
+        """Return a *copy* of ``nbytes`` at physical address ``paddr``."""
+        self._check_range(paddr, nbytes)
+        return self.data[paddr:paddr + nbytes].copy()
+
+    def write(self, paddr: int, payload: np.ndarray | bytes) -> None:
+        buf = np.frombuffer(bytes(payload), dtype=np.uint8) \
+            if isinstance(payload, (bytes, bytearray)) \
+            else np.asarray(payload, dtype=np.uint8)
+        self._check_range(paddr, len(buf))
+        self.data[paddr:paddr + len(buf)] = buf
+
+    def view(self, paddr: int, nbytes: int) -> np.ndarray:
+        """A mutable *view* (no copy) — used by DMA engines."""
+        self._check_range(paddr, nbytes)
+        return self.data[paddr:paddr + nbytes]
+
+    def frame_base(self, frame_number: int) -> int:
+        return frame_number * self.page_size
+
+    def frame_of_paddr(self, paddr: int) -> int:
+        return paddr // self.page_size
+
+    def _check_range(self, paddr: int, nbytes: int) -> None:
+        if paddr < 0 or paddr + nbytes > self.size:
+            raise ValueError(
+                f"physical access [{paddr}, {paddr + nbytes}) outside "
+                f"memory of {self.size} bytes")
+
+    # -- write watches (device-write visibility for spinning CPUs) --------------
+    def add_watch(self, paddr: int, nbytes: int, event) -> None:
+        """Register a one-shot event fired when a device write touches
+        [paddr, paddr+nbytes).  Models a CPU spinning on a cache location:
+        the DMA that deposits data invalidates the line and the spinner
+        observes it.  Only *device* writers call :meth:`notify_write`."""
+        self._watches.append((paddr, nbytes, event))
+
+    def notify_write(self, paddr: int, nbytes: int) -> None:
+        """Called by DMA engines after mutating [paddr, paddr+nbytes)."""
+        if not self._watches:
+            return
+        remaining = []
+        for start, length, event in self._watches:
+            overlaps = start < paddr + nbytes and paddr < start + length
+            if overlaps and not getattr(event, "triggered", True):
+                event.succeed((paddr, nbytes))
+            elif not getattr(event, "triggered", True):
+                remaining.append((start, length, event))
+        self._watches = remaining
+
+    # -- introspection ----------------------------------------------------------
+    def frames_are_contiguous(self, frames: Iterable[Frame]) -> bool:
+        numbers = [f.number for f in frames]
+        return all(b == a + 1 for a, b in zip(numbers, numbers[1:]))

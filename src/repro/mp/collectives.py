@@ -1,0 +1,158 @@
+"""Collective operations over the point-to-point layer.
+
+Binomial-tree reduce/broadcast (power-of-two friendly but correct for any
+size), linear gather/scatter/alltoall, and a dissemination barrier.  Each
+collective is a generator to be run per rank, taking the rank's
+:class:`~repro.mp.comm.Communicator`; tags partition the channel so
+collectives can't collide with application traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.mp.comm import Communicator, MPError
+
+#: Tag space reserved for collectives (applications should use tags below).
+_BASE_TAG = 1 << 20
+
+
+def _tree_parent(rank: int, root: int, size: int) -> Optional[int]:
+    rel = (rank - root) % size
+    if rel == 0:
+        return None
+    # Clear the lowest set bit of the relative rank.
+    return ((rel & (rel - 1)) + root) % size
+
+
+def _tree_children(rank: int, root: int, size: int) -> list[int]:
+    rel = (rank - root) % size
+    children = []
+    bit = 1
+    while True:
+        child_rel = rel | bit
+        if child_rel == rel:
+            bit <<= 1
+            continue
+        if child_rel >= size or (rel & (bit - 1)) != 0:
+            break
+        children.append((child_rel + root) % size)
+        bit <<= 1
+    return children
+
+
+def broadcast(comm: Communicator, data: Optional[bytes], root: int = 0,
+              tag: int = 0):
+    """Generator: binomial-tree broadcast; every rank returns the bytes."""
+    mytag = _BASE_TAG + 16 + tag
+    parent = _tree_parent(comm.rank, root, comm.size)
+    if parent is not None:
+        data = yield comm.recv(parent, tag=mytag)
+    elif data is None:
+        raise MPError("root must supply the broadcast payload")
+    for child in reversed(_tree_children(comm.rank, root, comm.size)):
+        yield comm.send(child, data, tag=mytag)
+    return data
+
+
+def reduce(comm: Communicator, array: np.ndarray,
+           op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+           root: int = 0, tag: int = 0):
+    """Generator: binomial-tree reduction of a numpy array to ``root``.
+
+    Non-root ranks return None.
+    """
+    mytag = _BASE_TAG + 32 + tag
+    value = np.asarray(array).copy()
+    for child in _tree_children(comm.rank, root, comm.size):
+        incoming = yield comm.recv_array(child, value.dtype, tag=mytag)
+        value = op(value, incoming.reshape(value.shape))
+    parent = _tree_parent(comm.rank, root, comm.size)
+    if parent is not None:
+        yield comm.send_array(parent, value, tag=mytag)
+        return None
+    return value
+
+
+def allreduce(comm: Communicator, array: np.ndarray,
+              op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+              tag: int = 0):
+    """Generator: reduce-to-0 then broadcast; every rank returns the result."""
+    reduced = yield from reduce(comm, array, op=op, root=0, tag=tag)
+    payload = reduced.tobytes() if reduced is not None else None
+    raw = yield from broadcast(comm, payload, root=0, tag=tag + 1)
+    return np.frombuffer(raw, dtype=np.asarray(array).dtype).reshape(
+        np.asarray(array).shape).copy()
+
+
+def barrier(comm: Communicator, tag: int = 0):
+    """Generator: dissemination barrier (log2 rounds, works for any size)."""
+    mytag = _BASE_TAG + 48 + tag
+    size = comm.size
+    if size == 1:
+        return
+    round_no = 0
+    distance = 1
+    while distance < size:
+        peer_to = (comm.rank + distance) % size
+        peer_from = (comm.rank - distance) % size
+        send = comm.send(peer_to, b"b", tag=mytag + round_no)
+        recv = comm.recv(peer_from, tag=mytag + round_no)
+        yield send
+        yield recv
+        distance *= 2
+        round_no += 1
+
+
+def gather(comm: Communicator, data: bytes, root: int = 0, tag: int = 0):
+    """Generator: gather every rank's bytes at ``root`` (list by rank)."""
+    mytag = _BASE_TAG + 64 + tag
+    if comm.rank == root:
+        out: list[Optional[bytes]] = [None] * comm.size
+        out[root] = data
+        for src in range(comm.size):
+            if src != root:
+                out[src] = yield comm.recv(src, tag=mytag)
+        return out
+    yield comm.send(root, data, tag=mytag)
+    return None
+
+
+def scatter(comm: Communicator, pieces: Optional[list[bytes]],
+            root: int = 0, tag: int = 0):
+    """Generator: root distributes ``pieces[rank]`` to every rank."""
+    mytag = _BASE_TAG + 80 + tag
+    if comm.rank == root:
+        if pieces is None or len(pieces) != comm.size:
+            raise MPError("root must supply one piece per rank")
+        for dst in range(comm.size):
+            if dst != root:
+                yield comm.send(dst, pieces[dst], tag=mytag)
+        return pieces[root]
+    piece = yield comm.recv(root, tag=mytag)
+    return piece
+
+
+def alltoall(comm: Communicator, pieces: list[bytes], tag: int = 0):
+    """Generator: every rank sends ``pieces[dst]`` to every other rank;
+    returns the list of received pieces indexed by source."""
+    mytag = _BASE_TAG + 96 + tag
+    if len(pieces) != comm.size:
+        raise MPError("need one piece per rank")
+    out: list[Optional[bytes]] = [None] * comm.size
+    out[comm.rank] = pieces[comm.rank]
+    # Post all sends, then drain all receives (channel order per pair is
+    # preserved; pairwise phasing avoids head-of-line lockstep).
+    sends = []
+    for shift in range(1, comm.size):
+        dst = (comm.rank + shift) % comm.size
+        sends.append(comm.send(dst, pieces[dst], tag=mytag))
+    for shift in range(1, comm.size):
+        src = (comm.rank - shift) % comm.size
+        out[src] = yield comm.recv(src, tag=mytag)
+    for send in sends:
+        if not send.triggered:
+            yield send
+    return out

@@ -1,0 +1,39 @@
+"""vRPC and its SunRPC substrate (section 5.4).
+
+vRPC is an RPC library implementing the SunRPC standard with VMMC as its
+low-level network interface.  The paper's strategy: change only the
+runtime library, stay wire/stub-compatible with SunRPC, re-implement the
+network layer directly on VMMC, and collapse several layers into one thin
+layer.  The server can talk to both old (UDP-based) and new (VMMC-based)
+clients.
+
+This package provides all three pieces from scratch:
+
+* :mod:`xdr` — the XDR (RFC 1014) marshalling SunRPC uses;
+* :mod:`sunrpc` — the SunRPC message format + a UDP/Ethernet transport
+  (the commodity baseline);
+* :mod:`vrpc` — the VMMC transport with its one compatibility copy on
+  receive, reproducing the 66 µs round trip and the copy-limited
+  ≈33 MB/s bulk bandwidth.
+"""
+
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, XdrError
+from repro.rpc.sunrpc import (
+    RPCError,
+    RPCProgram,
+    SunRPCServer,
+    UDPRPCClient,
+)
+from repro.rpc.vrpc import VRPCClient, VRPCServer
+
+__all__ = [
+    "RPCError",
+    "RPCProgram",
+    "SunRPCServer",
+    "UDPRPCClient",
+    "VRPCClient",
+    "VRPCServer",
+    "XdrDecoder",
+    "XdrEncoder",
+    "XdrError",
+]

@@ -1,0 +1,129 @@
+"""XDR (RFC 1014) marshalling — the wire format of SunRPC.
+
+A real, bit-exact implementation: big-endian 4-byte alignment, the basic
+types SunRPC needs (unsigned/signed 32- and 64-bit integers, booleans,
+opaque byte strings, strings, fixed and counted arrays).  vRPC keeps this
+exact format for SunRPC compatibility (section 5.4: "we changed only the
+runtime library ... and remain fully compatible with the existing SunRPC
+implementations").
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Sequence
+
+
+class XdrError(ValueError):
+    """Malformed XDR data or out-of-range value."""
+
+
+class XdrEncoder:
+    """Builds an XDR byte stream."""
+
+    def __init__(self):
+        self._parts: list[bytes] = []
+
+    # -- integers ------------------------------------------------------------
+    def pack_uint(self, value: int) -> "XdrEncoder":
+        if not 0 <= value < (1 << 32):
+            raise XdrError(f"uint out of range: {value}")
+        self._parts.append(struct.pack(">I", value))
+        return self
+
+    def pack_int(self, value: int) -> "XdrEncoder":
+        if not -(1 << 31) <= value < (1 << 31):
+            raise XdrError(f"int out of range: {value}")
+        self._parts.append(struct.pack(">i", value))
+        return self
+
+    def pack_uhyper(self, value: int) -> "XdrEncoder":
+        if not 0 <= value < (1 << 64):
+            raise XdrError(f"uhyper out of range: {value}")
+        self._parts.append(struct.pack(">Q", value))
+        return self
+
+    def pack_bool(self, value: bool) -> "XdrEncoder":
+        return self.pack_uint(1 if value else 0)
+
+    # -- byte strings -----------------------------------------------------------
+    def pack_fixed_opaque(self, data: bytes) -> "XdrEncoder":
+        pad = (4 - len(data) % 4) % 4
+        self._parts.append(bytes(data) + b"\0" * pad)
+        return self
+
+    def pack_opaque(self, data: bytes) -> "XdrEncoder":
+        self.pack_uint(len(data))
+        return self.pack_fixed_opaque(data)
+
+    def pack_string(self, text: str) -> "XdrEncoder":
+        return self.pack_opaque(text.encode("utf-8"))
+
+    # -- arrays --------------------------------------------------------------------
+    def pack_array(self, items: Sequence, pack_item: Callable) -> "XdrEncoder":
+        self.pack_uint(len(items))
+        for item in items:
+            pack_item(self, item)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+
+class XdrDecoder:
+    """Consumes an XDR byte stream."""
+
+    def __init__(self, data: bytes):
+        self._data = bytes(data)
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise XdrError(
+                f"XDR underrun: need {n} bytes at {self._pos}, have "
+                f"{len(self._data)}")
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    # -- integers ------------------------------------------------------------
+    def unpack_uint(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def unpack_int(self) -> int:
+        return struct.unpack(">i", self._take(4))[0]
+
+    def unpack_uhyper(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        value = self.unpack_uint()
+        if value not in (0, 1):
+            raise XdrError(f"bad bool {value}")
+        return bool(value)
+
+    # -- byte strings -----------------------------------------------------------
+    def unpack_fixed_opaque(self, n: int) -> bytes:
+        pad = (4 - n % 4) % 4
+        data = self._take(n + pad)
+        return data[:n]
+
+    def unpack_opaque(self) -> bytes:
+        return self.unpack_fixed_opaque(self.unpack_uint())
+
+    def unpack_string(self) -> str:
+        return self.unpack_opaque().decode("utf-8")
+
+    # -- arrays --------------------------------------------------------------------
+    def unpack_array(self, unpack_item: Callable) -> list:
+        return [unpack_item(self) for _ in range(self.unpack_uint())]
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def done(self) -> bool:
+        return self.remaining == 0

@@ -1,0 +1,72 @@
+"""Condition events: wait for all/any of a set of events.
+
+The value of a fired condition is a dict mapping each *fired* constituent
+event to its value, in firing order (dicts preserve insertion order), which
+lets callers both test which events fired and read their payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_results", "_count")
+
+    def __init__(self, env: Environment, events: list[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("condition mixes environments")
+        self._results: dict[Event, Any] = {}
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        if not event._ok:
+            event.defuse()
+            self.defused_fail(event._value)
+            # Re-raise at the waiter, not the engine.
+            self._defused = False
+            return
+        self._count += 1
+        self._results[event] = event._value
+        if self._satisfied():
+            self.succeed(dict(self._results))
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(Condition):
+    """Fires when the first constituent event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1

@@ -1,0 +1,156 @@
+"""Capacity-limited resources and FIFO stores.
+
+These primitives model contended hardware: a :class:`Resource` with
+capacity 1 is a bus or a DMA engine (one transaction at a time), a
+:class:`PriorityResource` is a bus with arbitration classes, and a
+:class:`Store` is any bounded/unbounded queue of objects — packets queued
+at a switch port, requests in a send queue, messages in a daemon mailbox.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """Event that fires when the resource grants this request.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+        # released on exit
+    """
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._order = next(resource._ticket)
+        resource._queue.append(self)
+        resource._queue.sort(key=lambda r: (r.priority, r._order))
+        resource._grant()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request."""
+        if self in self.resource._queue:
+            self.resource._queue.remove(self)
+
+
+class Resource:
+    """A resource with integer capacity and FIFO (or priority) granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._queue: list[Request] = []
+        self._users: list[Request] = []
+        self._ticket = iter(range(1 << 62))
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Queue a request; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted request."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant()
+        else:
+            request.cancel()
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.pop(0)
+            self._users.append(nxt)
+            nxt.succeed(self)
+
+
+class PriorityResource(Resource):
+    """Alias making priority usage explicit at call sites."""
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class Store:
+    """FIFO queue of arbitrary items with optional capacity.
+
+    ``put`` returns an event that fires when the item is accepted
+    (immediately for unbounded stores); ``get`` returns an event that fires
+    with the next item.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError("store capacity must be >= 1 or None")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+        self._putters: deque[StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        event = StorePut(self.env, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        event = StoreGet(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit queued puts while there is room.
+            while self._putters and (
+                    self.capacity is None or len(self.items) < self.capacity):
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed(None)
+                progress = True
+            # Serve queued gets while there are items.
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progress = True

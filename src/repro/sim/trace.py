@@ -1,0 +1,68 @@
+"""Lightweight event tracing for debugging and instrumentation.
+
+Hardware and protocol modules emit named trace points (e.g.
+``lanai.send.pickup``, ``pci.dma.start``) through the environment's tracer.
+Tests assert on trace sequences; the benchmark harness uses traces to break
+latency into the per-stage costs reported in section 5.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace point: time, category string, free-form payload."""
+
+    time: int
+    category: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRecord({self.time}ns, {self.category}, {self.payload})"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered.
+
+    A ``None``/absent tracer is the common (fast) case: emitters call
+    :func:`emit` below, which no-ops when the environment has no tracer.
+    """
+
+    def __init__(self, keep: Optional[Callable[[str], bool]] = None,
+                 limit: Optional[int] = None):
+        self.records: list[TraceRecord] = []
+        self._keep = keep
+        self._limit = limit
+
+    def record(self, time: int, category: str, **payload: Any) -> None:
+        if self._keep is not None and not self._keep(category):
+            return
+        if self._limit is not None and len(self.records) >= self._limit:
+            return
+        self.records.append(TraceRecord(time, category, payload))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def by_category(self, prefix: str) -> list[TraceRecord]:
+        """All records whose category starts with ``prefix``."""
+        return [r for r in self.records if r.category.startswith(prefix)]
+
+    def categories(self) -> list[str]:
+        return [r.category for r in self.records]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def emit(env: Any, category: str, **payload: Any) -> None:
+    """Emit a trace point if ``env`` carries a tracer (no-op otherwise)."""
+    tracer = getattr(env, "tracer", None)
+    if tracer is not None:
+        tracer.record(env.now, category, **payload)

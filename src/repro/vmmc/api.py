@@ -1,0 +1,310 @@
+"""The VMMC basic library — the user-level API (section 2, section 4.1).
+
+"A user program must link with it in order to communicate using VMMC
+calls."  The library talks to the local daemon for export/import setup and
+posts send requests *directly* to the LANai (programmed I/O into the
+process's own send queue) — the operating system is not involved in data
+transfer.
+
+The library chooses the short or long request format transparently
+(section 4.5) and implements synchronous sends by spinning on the per-slot
+completion word that the LANai DMAs into pinned user memory.
+
+Typical user code (a simulation generator)::
+
+    def app(env, ep_sender, ep_receiver, recv_buf):
+        yield ep_receiver.export(recv_buf, "inbox")
+        imported = yield ep_sender.import_buffer("node1", "inbox")
+        src = ep_sender.alloc_buffer(4096)
+        src.fill(0x42)
+        handle = yield ep_sender.send(src, imported, 4096)   # sync
+        # data is now in recv_buf on node1, no receive call needed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.sim import Environment, Event
+from repro.sim.trace import emit
+from repro.mem.buffers import UserBuffer
+from repro.mem.virtual import PAGE_SIZE
+from repro.hostos.process import UserProcess
+from repro.vmmc.daemon import ExportRecord, VMMCDaemon
+from repro.vmmc.driver import VMMCDriver
+from repro.vmmc.errors import SendError, VMMCError
+from repro.vmmc.lcp import ProcessContext, VmmcLCP
+from repro.vmmc.proxy import ProxyRegion
+from repro.vmmc.sendqueue import (
+    COMPLETION_DONE,
+    SHORT_SEND_LIMIT,
+    SendRequest,
+)
+
+#: Library-side CPU cost of a SendMsg call before any I/O: argument checks,
+#: format decision, slot bookkeeping (P166; calibrated so small synchronous
+#: sends cost ≈3 µs as in Figure 4).
+LIB_SEND_OVERHEAD_NS = 1_700
+#: Library-side CPU cost of the status-check fast path.
+LIB_CHECK_OVERHEAD_NS = 250
+#: Maximum message size: the outgoing page table limits imported space to
+#: 8 MB, which also bounds a single transfer (section 4.4).
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+
+@dataclass
+class ExportHandle:
+    """A successfully exported receive buffer."""
+
+    name: str
+    buffer: UserBuffer
+    record: ExportRecord
+
+
+class ImportedBuffer:
+    """A successfully imported remote receive buffer.
+
+    Proxy addresses for sends are derived from it: ``imported.address(off)``.
+    """
+
+    def __init__(self, remote_node: str, name: str, region: ProxyRegion):
+        self.remote_node = remote_node
+        self.name = name
+        self.region = region
+
+    @property
+    def nbytes(self) -> int:
+        return self.region.nbytes
+
+    def address(self, offset: int = 0) -> int:
+        """Destination proxy address ``offset`` bytes into the buffer."""
+        return self.region.address(offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ImportedBuffer({self.remote_node}:{self.name}, "
+                f"{self.nbytes}B @proxy {self.region.base_address:#x})")
+
+
+@dataclass
+class SendHandle:
+    """Tracks one posted send."""
+
+    slot: int
+    length: int
+    is_short: bool
+    synchronous: bool
+    posted_at: int
+    completed_event: Optional[Event] = None
+
+    @property
+    def buffer_reusable_immediately(self) -> bool:
+        """Short sends copy the data at post time, so the send buffer is
+        reusable as soon as the call returns (section 5.3)."""
+        return self.is_short
+
+
+Destination = Union[int, ImportedBuffer, tuple[ImportedBuffer, int]]
+
+
+class VMMCEndpoint:
+    """Per-process handle on VMMC: the linked 'basic library'."""
+
+    def __init__(self, env: Environment, node_name: str,
+                 process: UserProcess, ctx: ProcessContext,
+                 lcp: VmmcLCP, driver: VMMCDriver, daemon: VMMCDaemon,
+                 membus):
+        self.env = env
+        self.node_name = node_name
+        self.process = process
+        self.ctx = ctx
+        self.lcp = lcp
+        self.driver = driver
+        self.daemon = daemon
+        self.membus = membus
+        self.sends_posted = 0
+
+    # -- buffer management ---------------------------------------------------
+    def alloc_buffer(self, nbytes: int) -> UserBuffer:
+        """Allocate a page-aligned buffer in the process's address space."""
+        return UserBuffer.alloc(self.process.space, nbytes)
+
+    # -- export / import --------------------------------------------------------
+    def export(self, buffer: UserBuffer, name: str,
+               allowed_importers: Optional[list[str]] = None,
+               notify_handler: Optional[Callable[[dict], object]] = None):
+        """Process: export ``buffer`` as a receive buffer named ``name``.
+
+        ``allowed_importers`` restricts who may import (section 2);
+        ``notify_handler`` arms per-message notifications on this buffer
+        and registers the user-level handler invoked after delivery.
+        """
+        def run():
+            record = yield self.daemon.export(
+                self.process, buffer, name,
+                allowed_importers=allowed_importers,
+                notify=notify_handler is not None)
+            if notify_handler is not None:
+                self.driver.register_notify_handler(
+                    self.process.pid, record.buffer_id, notify_handler)
+            return ExportHandle(name=name, buffer=buffer, record=record)
+
+        return self.env.process(run(), name=f"vmmc.export.{name}")
+
+    def unexport(self, handle: ExportHandle):
+        return self.daemon.unexport(self.process, handle.name)
+
+    def import_buffer(self, remote_node: str, name: str):
+        """Process: import a remote export; value is an
+        :class:`ImportedBuffer` usable as a send destination."""
+        def run():
+            region = yield self.daemon.import_buffer(
+                self.process, remote_node, name)
+            return ImportedBuffer(remote_node, name, region)
+
+        return self.env.process(run(), name=f"vmmc.import.{name}")
+
+    # -- SendMsg ------------------------------------------------------------------
+    def _proxy_address(self, dest: Destination, dest_offset: int) -> int:
+        if isinstance(dest, ImportedBuffer):
+            return dest.address(dest_offset)
+        if isinstance(dest, tuple):
+            imported, base = dest
+            return imported.address(base + dest_offset)
+        return int(dest) + dest_offset
+
+    def send(self, src: UserBuffer, dest: Destination, nbytes: int | None = None,
+             src_offset: int = 0, dest_offset: int = 0,
+             synchronous: bool = True, notify: bool = False):
+        """Process: ``SendMsg(srcAddr, destAddr, nbytes)`` (section 2).
+
+        Value is a :class:`SendHandle`.  ``synchronous=True`` returns only
+        when the send buffer is safely reusable (short: at post; long:
+        when the last chunk is in LANai memory and the completion word has
+        been observed).  ``synchronous=False`` returns right after
+        posting; use :meth:`wait_send` / :meth:`check_send`.
+        """
+        length = src.nbytes - src_offset if nbytes is None else nbytes
+        proxy_address = self._proxy_address(dest, dest_offset)
+        src_vaddr = src.vaddr + src_offset
+
+        def run():
+            if length <= 0:
+                raise SendError(f"invalid send length {length}")
+            if length > MAX_MESSAGE_BYTES:
+                raise SendError(
+                    f"send of {length} bytes exceeds the 8 MB limit")
+            if src_offset + length > src.nbytes:
+                raise SendError("send runs past the end of the source buffer")
+            # Library prologue: argument checks + protocol selection.
+            yield self.env.timeout(LIB_SEND_OVERHEAD_NS)
+            # Flow control: wait for a free slot (spin on the completion
+            # word of the oldest outstanding request).
+            while not self.ctx.queue.slot_available():
+                tail_event = self.ctx.completion_events.get(
+                    self.ctx.queue.next_slot())
+                if tail_event is not None and not tail_event.triggered:
+                    yield tail_event
+                else:
+                    yield self.env.timeout(500)
+                yield self.membus.cacheline_fill()
+            slot = self.ctx.queue.reserve()
+            completion = self.env.event()
+            self.ctx.completion_events[slot] = completion
+            is_short = length <= SHORT_SEND_LIMIT
+            if is_short:
+                data = src.read(src_offset, length)
+                request = SendRequest(
+                    slot=slot, length=length, proxy_address=proxy_address,
+                    is_short=True, inline_data=data, notify=notify,
+                    posted_at=self.env.now)
+            else:
+                request = SendRequest(
+                    slot=slot, length=length, proxy_address=proxy_address,
+                    is_short=False, src_vaddr=src_vaddr, notify=notify,
+                    posted_at=self.env.now)
+            # Post with programmed I/O: control words + inline data words.
+            yield self.lcp.nic.bus.mmio_write(
+                request.control_words + request.data_words)
+            self.ctx.queue.post(request)
+            self.lcp.doorbell()
+            self.sends_posted += 1
+            emit(self.env, "vmmc.send.posted", node=self.node_name,
+                 pid=self.process.pid, slot=slot, length=length,
+                 short=is_short)
+            handle = SendHandle(slot=slot, length=length, is_short=is_short,
+                                synchronous=synchronous,
+                                posted_at=self.env.now,
+                                completed_event=completion)
+            if synchronous and not is_short:
+                # Spin on the completion cache location (section 4.5).
+                status = yield completion
+                yield self.membus.cacheline_fill()
+                if status != COMPLETION_DONE:
+                    raise SendError(
+                        f"send failed with completion status {status}")
+            return handle
+
+        return self.env.process(run(), name="vmmc.send")
+
+    def wait_send(self, handle: SendHandle):
+        """Process: block until an asynchronous send's buffer is reusable."""
+        def run():
+            event = handle.completed_event
+            if event is not None and not event.triggered:
+                status = yield event
+            else:
+                status = self.ctx.last_status.get(handle.slot,
+                                                  COMPLETION_DONE)
+            yield self.membus.cacheline_fill()
+            if status != COMPLETION_DONE and status is not None:
+                raise SendError(
+                    f"send failed with completion status {status}")
+
+        return self.env.process(run(), name="vmmc.wait_send")
+
+    def check_send(self, handle: SendHandle):
+        """Process: non-blocking completion probe; value is a bool.
+
+        Reads the completion word from (cached) host memory — no device
+        access, just the library fast path.
+        """
+        def run():
+            yield self.env.timeout(LIB_CHECK_OVERHEAD_NS)
+            event = handle.completed_event
+            return handle.is_short or (event is not None and event.triggered)
+
+        return self.env.process(run(), name="vmmc.check_send")
+
+    # -- receive-side helpers -------------------------------------------------------
+    def watch(self, buffer: UserBuffer, offset: int = 0,
+              nbytes: int | None = None) -> Event:
+        """Event that fires when a device write lands in the given range of
+        an exported buffer — the primitive behind spin-waiting receivers.
+
+        VMMC has no receive *operation*; a receiver that passes control
+        simply spins on the memory it exported.  The returned event models
+        the moment the spinner's cache line is invalidated by the DMA.
+        """
+        span = buffer.nbytes - offset if nbytes is None else nbytes
+        event = self.env.event()
+        memory = self.process.space.memory
+        # The watched virtual range may span physically scattered frames.
+        for paddr, length in buffer.space.physical_extents(
+                buffer.vaddr + offset, span):
+            memory.add_watch(paddr, length, event)
+        return event
+
+    def spin_recv(self, buffer: UserBuffer, offset: int = 0,
+                  nbytes: int | None = None):
+        """Process: spin until data is deposited in the watched range,
+        charging the cache-line fill the spinner pays to observe it."""
+        watch_event = self.watch(buffer, offset, nbytes)
+
+        def run():
+            yield watch_event
+            yield self.membus.cacheline_fill()
+
+        return self.env.process(run(), name="vmmc.spin_recv")

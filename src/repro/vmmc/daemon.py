@@ -1,0 +1,212 @@
+"""The per-node VMMC daemon (sections 4.1, 4.4).
+
+"User programs submit export and import requests to a local VMMC daemon.
+Daemons communicate with each other over Ethernet to match export and
+import requests and establish export-import relation by setting up data
+structures in the LANai control program."
+
+The daemon is trusted system software: it is the only path by which page
+tables on the NIC get populated, which is what makes user-level sends safe.
+Export: lock the buffer's pages, mark their frames writable (± notify) in
+the incoming page table.  Import: ask the exporting node's daemon for the
+buffer's physical pages (enforcing the exporter's importer restrictions on
+the exporting side), then install outgoing-page-table entries for the
+importing process and hand back a proxy region.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim import Environment, Store
+from repro.sim.trace import emit
+from repro.mem.buffers import UserBuffer
+from repro.mem.virtual import PAGE_SIZE
+from repro.hostos.ethernet import EthernetNetwork
+from repro.hostos.kernel import Kernel
+from repro.hostos.process import UserProcess
+from repro.vmmc.driver import VMMCDriver
+from repro.vmmc.errors import ExportError, ImportDenied
+from repro.vmmc.proxy import ProxyRegion
+
+#: Local IPC (unix-socket round trip) between library and daemon.
+LOCAL_IPC_NS = 60_000
+
+_buffer_ids = itertools.count(1)
+
+
+@dataclass
+class ExportRecord:
+    """One exported receive buffer on the exporting node."""
+
+    buffer_id: int
+    name: str
+    owner_pid: int
+    vaddr: int
+    nbytes: int
+    frames: list[int]
+    allowed_importers: Optional[frozenset[str]]
+    notify: bool
+
+    @property
+    def phys_pages(self) -> list[int]:
+        return list(self.frames)
+
+
+class VMMCDaemon:
+    """One daemon per node, addressed ``daemon.<node>`` on the Ethernet."""
+
+    def __init__(self, env: Environment, node_name: str, kernel: Kernel,
+                 driver: VMMCDriver, ether: EthernetNetwork):
+        self.env = env
+        self.node_name = node_name
+        self.kernel = kernel
+        self.driver = driver
+        self.ether = ether
+        self.address = f"daemon.{node_name}"
+        ether.register(self.address)
+        self.exports: dict[str, ExportRecord] = {}
+        self._pending_replies: dict[int, Any] = {}
+        self._reply_seq = itertools.count(1)
+        self.exports_served = 0
+        self.imports_served = 0
+        self.imports_denied = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(f"{self.address} already started")
+        self._started = True
+        self.env.process(self._serve(), name=f"{self.address}.serve")
+
+    # -- local requests (called by the user library) ----------------------------
+    def export(self, process: UserProcess, buffer: UserBuffer, name: str,
+               allowed_importers: Optional[list[str]] = None,
+               notify: bool = False):
+        """Process: export ``buffer`` under ``name``; value is the record.
+
+        The daemon locks the receive buffer's pages in main memory and
+        sets up incoming-page-table entries allowing data reception
+        (section 4.4).
+        """
+        def run():
+            yield self.env.timeout(LOCAL_IPC_NS)
+            if name in self.exports:
+                raise ExportError(
+                    f"{self.node_name}: export name {name!r} already in use")
+            if buffer.space is not process.space:
+                raise ExportError("buffer does not belong to the exporter")
+            frames = yield self.kernel.lock_pages(
+                process.space, buffer.vaddr, buffer.nbytes)
+            record = ExportRecord(
+                buffer_id=next(_buffer_ids),
+                name=name,
+                owner_pid=process.pid,
+                vaddr=buffer.vaddr,
+                nbytes=buffer.nbytes,
+                frames=frames,
+                allowed_importers=(None if allowed_importers is None
+                                   else frozenset(allowed_importers)),
+                notify=notify,
+            )
+            yield self.driver.install_incoming_entries(
+                frames, process.pid, record.buffer_id, notify)
+            self.exports[name] = record
+            self.exports_served += 1
+            emit(self.env, "daemon.export", node=self.node_name, name=name,
+                 nbytes=buffer.nbytes)
+            return record
+
+        return self.env.process(run(), name=f"{self.address}.export")
+
+    def unexport(self, process: UserProcess, name: str):
+        """Process: withdraw an export and revoke reception rights."""
+        def run():
+            yield self.env.timeout(LOCAL_IPC_NS)
+            record = self.exports.get(name)
+            if record is None or record.owner_pid != process.pid:
+                raise ExportError(f"no export {name!r} owned by caller")
+            yield self.driver.revoke_incoming_entries(record.frames)
+            yield self.kernel.unlock_pages(
+                process.space, record.vaddr, record.nbytes)
+            del self.exports[name]
+
+        return self.env.process(run(), name=f"{self.address}.unexport")
+
+    def import_buffer(self, process: UserProcess, remote_node: str,
+                      name: str):
+        """Process: import a remote export; value is a
+        :class:`~repro.vmmc.proxy.ProxyRegion` for the importing process.
+
+        "On an import request, the importing node daemon obtains the
+        physical addresses of receive buffer pages from the daemon on the
+        exporting node.  Next, the importing node daemon sets up outgoing
+        page table entries for the importing process that point to receive
+        buffer pages on [the] remote node." (section 4.4)
+        """
+        def run():
+            yield self.env.timeout(LOCAL_IPC_NS)
+            seq = next(self._reply_seq)
+            reply_box: Store = Store(self.env)
+            self._pending_replies[seq] = reply_box
+            yield self.ether.send(
+                self.address, f"daemon.{remote_node}",
+                {"op": "import_req", "seq": seq, "name": name,
+                 "importer_node": self.node_name,
+                 "importer_pid": process.pid},
+                nbytes=128)
+            reply = yield reply_box.get()
+            del self._pending_replies[seq]
+            if not reply["ok"]:
+                self.imports_denied += 1
+                raise ImportDenied(
+                    f"import of {remote_node}:{name} denied: "
+                    f"{reply['error']}")
+            ctx = self.driver.lcp.processes[process.pid]
+            region = ctx.proxy.reserve(reply["nbytes"])
+            node_index = reply["node_index"]
+            yield self.driver.install_outgoing_entries(
+                process.pid, region.first_page, node_index,
+                reply["phys_pages"])
+            self.imports_served += 1
+            emit(self.env, "daemon.import", node=self.node_name,
+                 remote=remote_node, name=name)
+            return region
+
+        return self.env.process(run(), name=f"{self.address}.import")
+
+    # -- the Ethernet service loop -------------------------------------------------
+    def _serve(self):
+        while True:
+            datagram = yield self.ether.receive(self.address)
+            message = datagram.payload
+            op = message.get("op")
+            if op == "import_req":
+                yield self.env.process(
+                    self._serve_import(datagram.src, message))
+            elif op == "import_reply":
+                box = self._pending_replies.get(message["seq"])
+                if box is not None:
+                    box.put(message)
+            else:
+                emit(self.env, "daemon.unknown_op", op=op)
+
+    def _serve_import(self, reply_to: str, message: dict):
+        record = self.exports.get(message["name"])
+        node_index = self.driver.lcp.node_index
+        if record is None:
+            reply = {"op": "import_reply", "seq": message["seq"],
+                     "ok": False, "error": "no such export"}
+        elif (record.allowed_importers is not None
+              and message["importer_node"] not in record.allowed_importers):
+            reply = {"op": "import_reply", "seq": message["seq"],
+                     "ok": False, "error": "importer not permitted"}
+        else:
+            reply = {"op": "import_reply", "seq": message["seq"], "ok": True,
+                     "nbytes": record.nbytes,
+                     "phys_pages": record.phys_pages,
+                     "node_index": node_index,
+                     "buffer_id": record.buffer_id}
+        yield self.ether.send(self.address, reply_to, reply, nbytes=256)

@@ -1,0 +1,27 @@
+"""VMMC error types."""
+
+from __future__ import annotations
+
+
+class VMMCError(Exception):
+    """Base class for VMMC failures."""
+
+
+class ExportError(VMMCError):
+    """Export request rejected (overlap, unpinnable pages, name clash)."""
+
+
+class ImportDenied(VMMCError):
+    """Import rejected: no such export or importer not permitted.
+
+    "An exporter can restrict possible importers of a buffer; VMMC
+    enforces the restrictions when an import is attempted" (section 2).
+    """
+
+
+class ProxyFault(VMMCError):
+    """Invalid destination proxy address (unmapped or out of bounds)."""
+
+
+class SendError(VMMCError):
+    """Malformed send request (bad length, unmapped source...)."""

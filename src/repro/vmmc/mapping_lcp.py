@@ -1,0 +1,106 @@
+"""Boot-time network mapping (section 4.3).
+
+"When the system boots, each VMMC daemon loads a special LANai control
+program ... that automatically maps the network ... After each node has
+mapped the entire network, each VMMC daemon extracts the routing
+information, and then replaces the mapping LCP with an LCP that implements
+VMMC.  When the VMMC LCP operates, no dynamic remapping of the network
+takes place and all the routing information resides in static tables."
+
+We model exactly that life cycle: a mapping phase that runs *before* the
+VMMC LCPs start, computes candidate routes, and **verifies each route by
+sending a probe packet along it through the real simulated fabric** and
+checking it arrives at the right node.  The verified routes become the
+static tables installed into each VMMC LCP.  The topology is assumed
+static afterwards (section 4.2); :meth:`MappingPhase.remap_required`
+exposes the restart-on-topology-change policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import Environment
+from repro.sim.trace import emit
+from repro.hw.lanai.nic import LanaiNIC
+from repro.hw.myrinet.network import MyrinetNetwork
+from repro.hw.myrinet.packet import MyrinetPacket, PacketHeader
+
+
+class MappingError(RuntimeError):
+    """A probe did not arrive where the candidate route claimed."""
+
+
+@dataclass
+class MappingResult:
+    """Static routing state handed to each node's VMMC LCP."""
+
+    #: node name → (destination node index → route bytes)
+    routes: dict[str, dict[int, list[int]]]
+    #: node name → node index (the cluster-wide numbering).
+    indices: dict[str, int]
+    probes_sent: int = 0
+    mapping_time_ns: int = 0
+
+
+class MappingPhase:
+    """Runs the mapping protocol over the simulated fabric."""
+
+    def __init__(self, env: Environment, network: MyrinetNetwork,
+                 nics: dict[str, LanaiNIC]):
+        self.env = env
+        self.network = network
+        self.nics = nics
+        self._topology_version = 0
+
+    def run(self):
+        """Process: map the network; value is a :class:`MappingResult`."""
+        def mapping():
+            start = self.env.now
+            names = sorted(self.nics)
+            indices = {name: i for i, name in enumerate(names)}
+            routes: dict[str, dict[int, list[int]]] = {n: {} for n in names}
+            probes = 0
+            for src in names:
+                for dst in names:
+                    if src == dst:
+                        continue
+                    candidate = self.network.compute_route(src, dst)
+                    yield self.env.process(
+                        self._verify_route(src, dst, candidate))
+                    routes[src][indices[dst]] = candidate
+                    probes += 1
+            duration = self.env.now - start
+            emit(self.env, "mapping.done", probes=probes,
+                 duration_ns=duration)
+            return MappingResult(routes=routes, indices=indices,
+                                 probes_sent=probes,
+                                 mapping_time_ns=duration)
+
+        return self.env.process(mapping(), name="mapping_phase")
+
+    def _verify_route(self, src: str, dst: str, route: list[int]):
+        """Send a probe along ``route`` and confirm it lands on ``dst``."""
+        probe = MyrinetPacket(
+            list(route),
+            PacketHeader("map_probe", {"src": src, "claimed_dst": dst},
+                         wire_bytes=8),
+            b"")
+        probe.seal()
+        yield self.nics[src].net_send.send(probe)
+        # Wait for the probe to surface in the claimed destination's inbox.
+        arrived = yield self.nics[dst].net_recv.inbox.get()
+        if arrived.header.kind != "map_probe" \
+                or arrived.header["claimed_dst"] != dst \
+                or not arrived.route_exhausted:
+            raise MappingError(
+                f"probe {src}->{dst} misrouted: got "
+                f"{arrived.header.fields}")
+
+    def remap_required(self) -> bool:
+        """The VMMC LCP performs no dynamic remapping; adding/removing
+        nodes requires restarting the system software (section 4.2)."""
+        return self._topology_version > 0
+
+    def topology_changed(self) -> None:
+        self._topology_version += 1

@@ -1,0 +1,76 @@
+"""Destination proxy space (section 2).
+
+Imported receive buffers are mapped into a *destination proxy space* — "a
+logically separate special address space in each sender process" (the
+Myrinet implementation uses a separate space, not a subset of the sender's
+virtual addresses).  Proxy addresses are not backed by local memory; they
+only designate transfer destinations and are translated by VMMC (via the
+outgoing page table) into a destination machine, process and memory
+address.
+
+The proxy space is a simple page-granular allocator over the outgoing
+page table's index range: importing an N-page buffer reserves N
+consecutive proxy pages, so ``proxy_address = proxy_page * 4096 + offset``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.virtual import PAGE_SIZE
+from repro.vmmc.errors import ProxyFault
+
+
+@dataclass(frozen=True)
+class ProxyRegion:
+    """A consecutive run of proxy pages backing one imported buffer."""
+
+    first_page: int
+    npages: int
+    nbytes: int
+
+    @property
+    def base_address(self) -> int:
+        return self.first_page * PAGE_SIZE
+
+    def address(self, offset: int) -> int:
+        """Proxy address of ``offset`` bytes into the imported buffer."""
+        if not 0 <= offset < self.nbytes:
+            raise ProxyFault(
+                f"offset {offset} outside imported buffer of {self.nbytes}")
+        return self.base_address + offset
+
+
+class ProxySpace:
+    """Per-process proxy-page allocator (bounded by the outgoing table)."""
+
+    def __init__(self, npages: int):
+        self.npages = npages
+        self._cursor = 0
+        self._regions: list[ProxyRegion] = []
+
+    def reserve(self, nbytes: int) -> ProxyRegion:
+        """Reserve proxy pages for an ``nbytes`` import."""
+        if nbytes <= 0:
+            raise ProxyFault("import size must be positive")
+        npages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        if self._cursor + npages > self.npages:
+            raise ProxyFault(
+                f"proxy space exhausted: need {npages} pages, "
+                f"{self.npages - self._cursor} left "
+                f"(the {self.npages * PAGE_SIZE >> 20} MB import limit)")
+        region = ProxyRegion(self._cursor, npages, nbytes)
+        self._cursor += npages
+        self._regions.append(region)
+        return region
+
+    @property
+    def pages_reserved(self) -> int:
+        return self._cursor
+
+    @staticmethod
+    def split(proxy_address: int) -> tuple[int, int]:
+        """Proxy address → (proxy page, offset within page)."""
+        if proxy_address < 0:
+            raise ProxyFault(f"negative proxy address {proxy_address:#x}")
+        return proxy_address // PAGE_SIZE, proxy_address % PAGE_SIZE

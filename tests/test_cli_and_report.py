@@ -1,0 +1,78 @@
+"""Tests for the CLI and the report-rendering helpers."""
+
+import pytest
+
+from repro.bench.report import Series, format_series, format_table
+from repro.cli import build_parser, main
+
+
+# ------------------------------------------------------------------- report
+def test_series_accumulates_and_queries():
+    s = Series("bw")
+    s.add(4, 10.0)
+    s.add(8, 20.0)
+    assert s.y_at(8) == 20.0
+    assert s.peak == 20.0
+    with pytest.raises(KeyError):
+        s.y_at(99)
+
+
+def test_format_table_alignment_and_floats():
+    text = format_table("T", ["a", "bbb"], [[1, 2.345], ["xy", 7]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "2.35" in text          # floats rendered to 2 decimals
+    assert "a" in lines[2] and "bbb" in lines[2]
+    # All data rows share the header's width.
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_format_series_merges_on_x():
+    s1 = Series("one")
+    s1.add(4, 1.0)
+    s1.add(8, 2.0)
+    s2 = Series("two")
+    s2.add(8, 3.0)
+    text = format_series("F", "x", "y", [s1, s2])
+    rows = text.splitlines()
+    assert any("4" in r and "1.00" in r for r in rows)
+    # Missing point renders as blank, not a crash.
+    assert any("8" in r and "3.00" in r for r in rows)
+
+
+# ----------------------------------------------------------------------- CLI
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("latency", "bandwidth", "overhead", "dma", "shootout",
+                    "vrpc", "sram"):
+        args = parser.parse_args([command])
+        assert callable(args.func)
+
+
+def test_cli_dma_prints_curve(capsys):
+    assert main(["dma", "--sizes", "4096,65536"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "99.9" in out or "100" in out
+    assert "127.99" in out or "128" in out
+
+
+def test_cli_latency_runs_simulation(capsys):
+    assert main(["latency", "--sizes", "4", "--iters", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "9.8" in out
+
+
+def test_cli_sram_accounting(capsys):
+    assert main(["sram", "--processes", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "incoming_page_table" in out
+    assert "tlb.pid" in out
+    assert "TOTAL" in out
+
+
+def test_cli_overhead(capsys):
+    assert main(["overhead", "--sizes", "4,256", "--iters", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "sync" in out and "async" in out

@@ -1,0 +1,213 @@
+"""Tests for the host OS substrate: kernel, processes, signals, Ethernet."""
+
+import pytest
+
+from repro.sim import Environment, US
+from repro.mem import AddressSpace, PAGE_SIZE, PhysicalMemory
+from repro.hostos import (
+    DeviceDriver,
+    EthernetNetwork,
+    EthernetParams,
+    Kernel,
+    KernelParams,
+    UserProcess,
+)
+from repro.hostos.kernel import SIGIO
+
+
+def make_kernel():
+    env = Environment()
+    return env, Kernel(env)
+
+
+# -------------------------------------------------------------------- kernel
+def test_interrupt_dispatch_charges_entry_and_exit():
+    env, kernel = make_kernel()
+    params = KernelParams()
+    ran = {}
+
+    def isr():
+        ran["at"] = env.now
+        yield env.timeout(1000)
+        return "isr-result"
+
+    got = {}
+
+    def proc():
+        got["result"] = yield kernel.service_interrupt(isr)
+        got["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert ran["at"] == params.irq_entry_ns
+    assert got["result"] == "isr-result"
+    assert got["t"] == params.irq_entry_ns + 1000 + params.irq_exit_ns
+    assert kernel.interrupts_serviced == 1
+
+
+def test_plain_callable_isr():
+    env, kernel = make_kernel()
+    seen = []
+
+    def proc():
+        yield kernel.service_interrupt(lambda: seen.append(env.now))
+
+    env.process(proc())
+    env.run()
+    assert seen == [KernelParams().irq_entry_ns]
+
+
+def test_lock_pages_pins_and_charges_per_page():
+    env, kernel = make_kernel()
+    mem = PhysicalMemory(64 * PAGE_SIZE)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(3 * PAGE_SIZE)
+    got = {}
+
+    def proc():
+        got["frames"] = yield kernel.lock_pages(space, vaddr, 3 * PAGE_SIZE)
+        got["t"] = env.now
+        yield kernel.unlock_pages(space, vaddr, 3 * PAGE_SIZE)
+
+    env.process(proc())
+    env.run()
+    params = KernelParams()
+    assert len(got["frames"]) == 3
+    assert got["t"] == params.syscall_ns + 3 * params.lock_page_ns
+    assert mem.pinned_frames == 0  # unlocked again
+
+
+def test_translate_range_returns_pairs():
+    env, kernel = make_kernel()
+    mem = PhysicalMemory(64 * PAGE_SIZE)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(2 * PAGE_SIZE)
+    got = {}
+
+    def proc():
+        got["pairs"] = yield kernel.translate_range(space, vaddr + 10, 4)
+
+    env.process(proc())
+    env.run()
+    # Only 2 pages are mapped; translation stops at the boundary.
+    assert len(got["pairs"]) == 2
+    vpage, paddr = got["pairs"][0]
+    assert paddr == space.translate(vaddr)
+
+
+def test_signal_delivery_runs_handler():
+    env, kernel = make_kernel()
+    mem = PhysicalMemory(16 * PAGE_SIZE)
+    proc_obj = UserProcess(AddressSpace(mem), "app")
+    handled = []
+    proc_obj.register_signal_handler(
+        SIGIO, lambda payload: handled.append((payload, env.now)))
+
+    def proc():
+        yield kernel.deliver_signal(proc_obj, SIGIO, {"buffer": 1})
+
+    env.process(proc())
+    env.run()
+    assert handled == [({"buffer": 1}, KernelParams().signal_delivery_ns)]
+    assert proc_obj.signals_received == [(SIGIO, {"buffer": 1})]
+
+
+def test_signal_without_handler_still_recorded():
+    env, kernel = make_kernel()
+    mem = PhysicalMemory(16 * PAGE_SIZE)
+    proc_obj = UserProcess(AddressSpace(mem))
+
+    def proc():
+        yield kernel.deliver_signal(proc_obj, 15)
+
+    env.process(proc())
+    env.run()
+    assert proc_obj.signals_received == [(15, None)]
+
+
+def test_device_driver_base_wires_isr_through_kernel():
+    env, kernel = make_kernel()
+
+    class Probe(DeviceDriver):
+        def __init__(self, env, kernel):
+            super().__init__(env, kernel, "probe")
+            self.calls = []
+
+        def handle_irq(self, reason, payload):
+            self.calls.append((reason, payload))
+            yield self.env.timeout(10)
+            return "handled"
+
+    drv = Probe(env, kernel)
+    got = {}
+
+    def proc():
+        got["r"] = yield drv.isr("test_irq", 123)
+
+    env.process(proc())
+    env.run()
+    assert got["r"] == "handled"
+    assert drv.calls == [("test_irq", 123)]
+
+
+# ------------------------------------------------------------------ ethernet
+def test_ethernet_point_to_point_delivery():
+    env = Environment()
+    ether = EthernetNetwork(env)
+    ether.register("node0")
+    ether.register("node1")
+    got = {}
+
+    def sender():
+        yield ether.send("node0", "node1", {"op": "export"}, nbytes=200)
+
+    def receiver():
+        dg = yield ether.receive("node1")
+        got["payload"] = dg.payload
+        got["src"] = dg.src
+        got["t"] = env.now
+
+    env.process(sender())
+    env.process(receiver())
+    env.run()
+    assert got["payload"] == {"op": "export"}
+    assert got["src"] == "node0"
+    # Control-plane latency is in the hundreds of microseconds — orders of
+    # magnitude above VMMC's data plane, as the paper's motivation implies.
+    assert got["t"] > 200 * US
+
+
+def test_ethernet_unknown_endpoint_rejected():
+    env = Environment()
+    ether = EthernetNetwork(env)
+    ether.register("a")
+    with pytest.raises(KeyError):
+        ether.send("a", "ghost", None)
+    with pytest.raises(ValueError):
+        ether.register("a")
+
+
+def test_ethernet_wire_time_includes_fragmentation():
+    params = EthernetParams()
+    one = params.wire_time_ns(1000)
+    frag = params.wire_time_ns(3000)  # 2 frames at MTU 1500
+    assert frag > 3 * one - 3 * params.frame_overhead_bytes * params.ns_per_byte
+
+
+def test_ethernet_segment_serializes_senders():
+    env = Environment()
+    ether = EthernetNetwork(env, EthernetParams(tx_stack_ns=0, rx_stack_ns=0))
+    ether.register("a")
+    ether.register("b")
+    ether.register("c")
+    times = []
+
+    def sender(src):
+        yield ether.send(src, "c", src, nbytes=1500)
+        times.append(env.now)
+
+    env.process(sender("a"))
+    env.process(sender("b"))
+    env.run()
+    wire = EthernetParams().wire_time_ns(1500)
+    assert times == [wire, 2 * wire]

@@ -1,0 +1,234 @@
+"""Tests for the LANai NIC hardware: SRAM, processor, DMA engines, NIC."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.mem import PhysicalMemory
+from repro.hw.bus import PCIBus, PCIParams
+from repro.hw.lanai import (
+    LANaiProcessor,
+    LanaiNIC,
+    SRAM,
+    SRAMExhausted,
+)
+from repro.hw.lanai.sram import SRAM_SIZE
+from repro.hw.myrinet import MyrinetNetwork, MyrinetPacket, PacketHeader
+
+
+# ---------------------------------------------------------------------- SRAM
+def test_sram_is_256kb():
+    assert SRAM().size == 256 * 1024 == SRAM_SIZE
+
+
+def test_sram_alloc_and_usage_report():
+    sram = SRAM()
+    sram.alloc("lcp_code", 64 * 1024)
+    sram.alloc("sendq.p0", 4096)
+    report = sram.usage_report()
+    assert report == {"lcp_code": 65536, "sendq.p0": 4096}
+    assert sram.used == 65536 + 4096
+    assert sram.free_bytes == SRAM_SIZE - sram.used
+
+
+def test_sram_exhaustion():
+    sram = SRAM()
+    sram.alloc("big", 200 * 1024)
+    with pytest.raises(SRAMExhausted):
+        sram.alloc("too_big", 100 * 1024)
+
+
+def test_sram_duplicate_region_rejected():
+    sram = SRAM()
+    sram.alloc("x", 16)
+    with pytest.raises(ValueError):
+        sram.alloc("x", 16)
+    with pytest.raises(ValueError):
+        sram.alloc("y", 0)
+
+
+def test_sram_rw_and_bounds():
+    sram = SRAM()
+    sram.write(100, b"abc")
+    assert sram.read(100, 3).tobytes() == b"abc"
+    with pytest.raises(ValueError):
+        sram.read(SRAM_SIZE - 1, 2)
+
+
+def test_sram_view_mutates():
+    sram = SRAM()
+    sram.view(0, 4)[:] = [9, 8, 7, 6]
+    assert sram.read(0, 4).tolist() == [9, 8, 7, 6]
+
+
+# ------------------------------------------------------------------ processor
+def test_processor_cycle_time_is_33mhz():
+    env = Environment()
+    cpu = LANaiProcessor(env)
+    done = {}
+
+    def proc():
+        yield cpu.cycles(100)
+        done["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert done["t"] == 100 * 30  # 30 ns per cycle at 33 MHz
+    assert cpu.cycles_charged == 100
+    assert cpu.busy_time_ns == 3000
+
+
+def test_processor_work_ns_rounds_up_to_cycles():
+    env = Environment()
+    cpu = LANaiProcessor(env)
+
+    def proc():
+        yield cpu.work_ns(45)  # 1.5 cycles -> 2 cycles
+
+    env.process(proc())
+    env.run()
+    assert env.now == 60
+
+
+# ----------------------------------------------------------------- NIC + DMA
+def make_nic_pair():
+    env = Environment()
+    net = MyrinetNetwork.single_switch(env, 2)
+    mem0 = PhysicalMemory(1024 * 1024)
+    mem1 = PhysicalMemory(1024 * 1024)
+    nic0 = LanaiNIC(env, net, "node0", PCIBus(env), mem0)
+    nic1 = LanaiNIC(env, net, "node1", PCIBus(env), mem1)
+    return env, net, (nic0, mem0), (nic1, mem1)
+
+
+def test_host_dma_to_sram_moves_real_bytes():
+    env, _, (nic, mem), _ = make_nic_pair()
+    payload = np.arange(4096, dtype=np.uint8) % 251
+    mem.write(8192, payload)
+    done = {}
+
+    def proc():
+        yield nic.host_dma.to_sram(8192, 1000, 4096)
+        done["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert np.array_equal(nic.sram.read(1000, 4096), payload)
+    assert done["t"] == PCIParams().dma_time_ns(4096)
+    assert nic.host_dma.bytes_to_sram == 4096
+
+
+def test_host_dma_to_host_roundtrip():
+    env, _, (nic, mem), _ = make_nic_pair()
+    nic.sram.write(500, b"from sram")
+
+    def proc():
+        yield nic.host_dma.to_host(500, 4096, 9)
+
+    env.process(proc())
+    env.run()
+    assert mem.read(4096, 9).tobytes() == b"from sram"
+
+
+def test_host_dma_scatter_two_extents():
+    env, _, (nic, mem), _ = make_nic_pair()
+    nic.sram.write(0, bytes(range(100)))
+
+    def proc():
+        yield nic.host_dma.scatter_to_host(0, [(1000, 60), (5000, 40)])
+
+    env.process(proc())
+    env.run()
+    assert mem.read(1000, 60).tobytes() == bytes(range(60))
+    assert mem.read(5000, 40).tobytes() == bytes(range(60, 100))
+
+
+def test_host_dma_serializes_transfers():
+    env, _, (nic, mem), _ = make_nic_pair()
+    times = []
+
+    def proc():
+        a = nic.host_dma.to_sram(0, 0, 1024)
+        b = nic.host_dma.to_sram(4096, 2048, 1024)
+        yield a
+        times.append(env.now)
+        yield b
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    one = PCIParams().dma_time_ns(1024)
+    assert times == [one, 2 * one]
+
+
+def test_net_send_to_recv_through_fabric():
+    env, net, (nic0, _), (nic1, _) = make_nic_pair()
+    nic0.sram.write(0, b"wire payload!")
+
+    def sender():
+        pkt = MyrinetPacket(net.compute_route("node0", "node1"),
+                            PacketHeader("test", {}),
+                            nic0.sram.read(0, 13))
+        yield nic0.net_send.send(pkt)
+
+    env.process(sender())
+    env.run()
+    assert nic1.net_recv.pending() == 1
+    assert nic0.net_send.packets_sent == 1
+    assert nic1.net_recv.packets_received == 1
+    assert nic1.net_recv.crc_errors == 0
+
+    got = {}
+
+    def drain():
+        pkt = yield nic1.net_recv.inbox.get()
+        got["payload"] = bytes(pkt.payload)
+        got["crc_ok"] = pkt.meta["crc_ok"]
+
+    env.process(drain())
+    env.run()
+    assert got == {"payload": b"wire payload!", "crc_ok": True}
+
+
+def test_host_mmio_sram_write_and_read():
+    env, _, (nic, _), _ = make_nic_pair()
+    got = {}
+
+    def proc():
+        yield nic.host_write_sram(64, b"posted!!")  # 2 words
+        got["t_write"] = env.now
+        data = yield nic.host_read_sram(64, 8)
+        got["t_read"] = env.now
+        got["data"] = bytes(data)
+
+    env.process(proc())
+    env.run()
+    assert got["data"] == b"posted!!"
+    assert got["t_write"] == 2 * 121
+    assert got["t_read"] - got["t_write"] == 2 * 422
+
+
+def test_interrupt_requires_driver():
+    env, _, (nic, _), _ = make_nic_pair()
+    with pytest.raises(RuntimeError):
+        nic.raise_interrupt("tlb_miss")
+
+
+def test_interrupt_dispatch_to_handler():
+    env, _, (nic, _), _ = make_nic_pair()
+    seen = []
+
+    def handler(reason, payload):
+        seen.append((reason, payload, env.now))
+        if False:  # plain callable, not generator
+            yield
+
+    nic.set_interrupt_handler(lambda r, p: seen.append((r, p, env.now)))
+
+    def proc():
+        yield nic.raise_interrupt("tlb_miss", {"vpage": 3})
+
+    env.process(proc())
+    env.run()
+    assert seen == [("tlb_miss", {"vpage": 3}, 0)]
+    assert nic.interrupts_raised == 1

@@ -1,0 +1,295 @@
+"""Unit tests for the memory substrate (physical frames, VM, buffers)."""
+
+import numpy as np
+import pytest
+
+from repro.mem import (
+    AddressSpace,
+    OutOfMemoryError,
+    PAGE_SIZE,
+    PageFault,
+    PhysicalMemory,
+    UserBuffer,
+    page_offset,
+    page_round_down,
+    page_round_up,
+    vpage_of,
+)
+from repro.mem.virtual import pages_spanned
+
+
+def make_memory(mb=4, **kw):
+    return PhysicalMemory(mb * 1024 * 1024, **kw)
+
+
+# ------------------------------------------------------------- page helpers
+def test_page_helpers():
+    assert vpage_of(0) == 0
+    assert vpage_of(PAGE_SIZE) == 1
+    assert vpage_of(PAGE_SIZE - 1) == 0
+    assert page_offset(PAGE_SIZE + 17) == 17
+    assert page_round_down(PAGE_SIZE + 17) == PAGE_SIZE
+    assert page_round_up(PAGE_SIZE + 17) == 2 * PAGE_SIZE
+    assert page_round_up(PAGE_SIZE) == PAGE_SIZE
+
+
+def test_pages_spanned():
+    assert pages_spanned(0, 1) == 1
+    assert pages_spanned(0, PAGE_SIZE) == 1
+    assert pages_spanned(0, PAGE_SIZE + 1) == 2
+    assert pages_spanned(PAGE_SIZE - 1, 2) == 2
+    assert pages_spanned(100, 0) == 0
+
+
+# -------------------------------------------------------------- physical mem
+def test_physical_memory_sizes():
+    mem = make_memory(1)
+    assert mem.nframes == 256
+    assert mem.free_frames == 256
+
+
+def test_bad_memory_size_rejected():
+    with pytest.raises(ValueError):
+        PhysicalMemory(4096 + 1)
+
+
+def test_alloc_frames_scattered_not_contiguous():
+    mem = make_memory(4)
+    frames = mem.alloc_frames(8)
+    # Scatter allocator must not return a contiguous run.
+    assert not mem.frames_are_contiguous(frames)
+
+
+def test_alloc_contiguous_is_contiguous():
+    mem = make_memory(4)
+    frames = mem.alloc_contiguous(8)
+    assert mem.frames_are_contiguous(frames)
+
+
+def test_linear_allocator_contiguous():
+    mem = make_memory(1, scatter=False)
+    frames = mem.alloc_frames(4)
+    assert [f.number for f in frames] == [0, 1, 2, 3]
+
+
+def test_out_of_memory():
+    mem = PhysicalMemory(4 * PAGE_SIZE)
+    mem.alloc_frames(4)
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc_frame()
+
+
+def test_reserved_frames_not_allocated():
+    mem = PhysicalMemory(16 * PAGE_SIZE, reserved_frames=4)
+    assert mem.free_frames == 12
+    for _ in range(12):
+        assert mem.alloc_frame().number >= 4
+
+
+def test_free_and_realloc():
+    mem = PhysicalMemory(2 * PAGE_SIZE)
+    a = mem.alloc_frame()
+    b = mem.alloc_frame()
+    mem.free_frame(a)
+    c = mem.alloc_frame()
+    assert c.number == a.number
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc_frame()
+    assert b.pinned is False
+
+
+def test_double_free_rejected():
+    mem = make_memory(1)
+    f = mem.alloc_frame()
+    mem.free_frame(f)
+    with pytest.raises(ValueError):
+        mem.free_frame(f)
+
+
+def test_pin_blocks_free_and_nests():
+    mem = make_memory(1)
+    f = mem.alloc_frame()
+    mem.pin(f.number)
+    mem.pin(f.number)
+    with pytest.raises(ValueError):
+        mem.free_frame(f)
+    mem.unpin(f.number)
+    assert f.pinned
+    mem.unpin(f.number)
+    assert not f.pinned
+    mem.free_frame(f)
+    with pytest.raises(ValueError):
+        mem.unpin(f.number)
+
+
+def test_physical_read_write_roundtrip():
+    mem = make_memory(1)
+    payload = bytes(range(256))
+    mem.write(1000, payload)
+    assert mem.read(1000, 256).tobytes() == payload
+
+
+def test_physical_bounds_checked():
+    mem = PhysicalMemory(PAGE_SIZE)
+    with pytest.raises(ValueError):
+        mem.read(PAGE_SIZE - 1, 2)
+    with pytest.raises(ValueError):
+        mem.write(-1, b"x")
+
+
+def test_view_is_mutable_alias():
+    mem = make_memory(1)
+    view = mem.view(0, 4)
+    view[:] = [1, 2, 3, 4]
+    assert mem.read(0, 4).tolist() == [1, 2, 3, 4]
+
+
+# ------------------------------------------------------------- address space
+def test_mmap_translate_roundtrip():
+    mem = make_memory(4)
+    space = AddressSpace(mem, "p0")
+    vaddr = space.mmap(3 * PAGE_SIZE)
+    assert page_offset(vaddr) == 0
+    for off in (0, 1, PAGE_SIZE, 2 * PAGE_SIZE + 5):
+        paddr = space.translate(vaddr + off)
+        assert 0 <= paddr < mem.size
+        assert paddr % PAGE_SIZE == (vaddr + off) % PAGE_SIZE
+
+
+def test_translate_unmapped_faults():
+    mem = make_memory(1)
+    space = AddressSpace(mem)
+    with pytest.raises(PageFault):
+        space.translate(0xdead_0000)
+
+
+def test_mmap_regions_disjoint():
+    mem = make_memory(4)
+    space = AddressSpace(mem)
+    a = space.mmap(PAGE_SIZE)
+    b = space.mmap(PAGE_SIZE)
+    assert a + PAGE_SIZE <= b or b + PAGE_SIZE <= a
+
+
+def test_virtual_rw_roundtrip_cross_page():
+    mem = make_memory(4)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(4 * PAGE_SIZE)
+    rng = np.random.default_rng(7)
+    payload = rng.integers(0, 256, size=3 * PAGE_SIZE + 123, dtype=np.uint8)
+    space.write(vaddr + 17, payload)
+    assert np.array_equal(space.read(vaddr + 17, len(payload)), payload)
+
+
+def test_physical_extents_cover_range_exactly():
+    mem = make_memory(4)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(4 * PAGE_SIZE)
+    extents = space.physical_extents(vaddr + 100, 2 * PAGE_SIZE)
+    assert sum(length for _, length in extents) == 2 * PAGE_SIZE
+    # Scattered frames: each extent at most a page.
+    assert all(length <= PAGE_SIZE for _, length in extents)
+    assert len(extents) >= 2
+
+
+def test_physical_extents_merge_contiguous():
+    mem = make_memory(1, scatter=False)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(2 * PAGE_SIZE)
+    extents = space.physical_extents(vaddr, 2 * PAGE_SIZE)
+    assert len(extents) == 1
+    assert extents[0][1] == 2 * PAGE_SIZE
+
+
+def test_munmap_frees_frames():
+    mem = PhysicalMemory(8 * PAGE_SIZE)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(4 * PAGE_SIZE)
+    assert mem.free_frames == 4
+    space.munmap(vaddr, 4 * PAGE_SIZE)
+    assert mem.free_frames == 8
+    with pytest.raises(PageFault):
+        space.translate(vaddr)
+
+
+def test_munmap_unmapped_faults():
+    mem = make_memory(1)
+    space = AddressSpace(mem)
+    with pytest.raises(PageFault):
+        space.munmap(AddressSpace.USER_BASE, PAGE_SIZE)
+
+
+def test_pin_range_and_unpin():
+    mem = make_memory(4)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(3 * PAGE_SIZE)
+    frames = space.pin_range(vaddr + 10, 2 * PAGE_SIZE)
+    assert len(frames) == 3  # offset 10 spans into a third page
+    assert space.is_pinned(vaddr, 2 * PAGE_SIZE)
+    assert mem.pinned_frames == 3
+    space.unpin_range(vaddr + 10, 2 * PAGE_SIZE)
+    assert mem.pinned_frames == 0
+
+
+def test_contiguous_physical_mmap():
+    mem = make_memory(4)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(4 * PAGE_SIZE, contiguous_physical=True)
+    extents = space.physical_extents(vaddr, 4 * PAGE_SIZE)
+    assert len(extents) == 1
+
+
+def test_two_spaces_isolated():
+    mem = make_memory(4)
+    s1 = AddressSpace(mem, "p1")
+    s2 = AddressSpace(mem, "p2")
+    v1 = s1.mmap(PAGE_SIZE)
+    v2 = s2.mmap(PAGE_SIZE)
+    s1.write(v1, b"AAAA")
+    s2.write(v2, b"BBBB")
+    assert s1.read(v1, 4).tobytes() == b"AAAA"
+    assert s2.read(v2, 4).tobytes() == b"BBBB"
+    assert s1.translate(v1) != s2.translate(v2)
+
+
+# ------------------------------------------------------------------ buffers
+def test_user_buffer_rw():
+    mem = make_memory(4)
+    space = AddressSpace(mem)
+    buf = UserBuffer.alloc(space, 2 * PAGE_SIZE)
+    assert buf.page_aligned
+    assert buf.npages == 2
+    buf.write(b"hello", offset=PAGE_SIZE - 2)  # crosses the page boundary
+    assert buf.read(PAGE_SIZE - 2, 5).tobytes() == b"hello"
+
+
+def test_user_buffer_bounds():
+    mem = make_memory(1)
+    space = AddressSpace(mem)
+    buf = UserBuffer.alloc(space, 64)
+    with pytest.raises(ValueError):
+        buf.write(b"x" * 65)
+    with pytest.raises(ValueError):
+        buf.read(60, 5)
+    with pytest.raises(ValueError):
+        buf.slice(60, 5)
+    with pytest.raises(ValueError):
+        UserBuffer(space, 0, 0)
+
+
+def test_user_buffer_slice_aliases_storage():
+    mem = make_memory(1)
+    space = AddressSpace(mem)
+    buf = UserBuffer.alloc(space, 256)
+    sub = buf.slice(100, 50)
+    sub.write(b"Z" * 50)
+    assert buf.read(100, 50).tobytes() == b"Z" * 50
+
+
+def test_user_buffer_fill_and_len():
+    mem = make_memory(1)
+    space = AddressSpace(mem)
+    buf = UserBuffer.alloc(space, 128)
+    buf.fill(0xAB)
+    assert len(buf) == 128
+    assert set(buf.tobytes()) == {0xAB}

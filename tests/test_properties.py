@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.myrinet.crc import crc8
+from repro.mem import AddressSpace, PAGE_SIZE, PhysicalMemory
+from repro.mem.virtual import pages_spanned
+from repro.rpc.xdr import XdrDecoder, XdrEncoder
+from repro.vmmc.pagetables import OutgoingPageTable
+from repro.vmmc.proxy import ProxySpace
+from repro.vmmc.tlb import SoftwareTLB
+
+
+# --------------------------------------------------------------------- CRC-8
+@given(st.binary(min_size=0, max_size=512))
+def test_crc8_in_byte_range(data):
+    assert 0 <= crc8(data) <= 255
+
+
+@given(st.binary(min_size=1, max_size=256),
+       st.integers(min_value=0, max_value=255 * 8 - 1))
+def test_crc8_detects_any_single_bitflip(data, bit):
+    """CRC-8 detects every single-bit error (Hamming distance ≥ 2)."""
+    flipped = bytearray(data)
+    idx = (bit // 8) % len(flipped)
+    flipped[idx] ^= 1 << (bit % 8)
+    if bytes(flipped) != data:
+        assert crc8(bytes(flipped)) != crc8(data)
+
+
+@given(st.binary(max_size=256))
+def test_crc8_deterministic(data):
+    assert crc8(data) == crc8(data)
+
+
+# ----------------------------------------------------------- outgoing packing
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=(1 << 24) - 1))
+def test_outgoing_pack_unpack_is_identity(node, page):
+    assert OutgoingPageTable.unpack(OutgoingPageTable.pack(node, page)) \
+        == (node, page)
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=(1 << 24) - 1),
+       st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=(1 << 24) - 1))
+def test_outgoing_pack_injective(n1, p1, n2, p2):
+    if (n1, p1) != (n2, p2):
+        assert OutgoingPageTable.pack(n1, p1) != OutgoingPageTable.pack(n2, p2)
+
+
+# ------------------------------------------------------------------ proxy math
+@given(st.integers(min_value=0, max_value=(1 << 30)))
+def test_proxy_split_reassembles(addr):
+    page, off = ProxySpace.split(addr)
+    assert page * PAGE_SIZE + off == addr
+    assert 0 <= off < PAGE_SIZE
+
+
+@given(st.lists(st.integers(min_value=1, max_value=64 * 1024), min_size=1,
+                max_size=10))
+def test_proxy_reservations_disjoint_and_ordered(sizes):
+    space = ProxySpace(npages=1 << 16)
+    regions = [space.reserve(size) for size in sizes]
+    for earlier, later in zip(regions, regions[1:]):
+        assert earlier.first_page + earlier.npages <= later.first_page
+    for region, size in zip(regions, sizes):
+        assert region.npages * PAGE_SIZE >= size
+
+
+# ------------------------------------------------------------------------ TLB
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=4095),
+                          st.integers(min_value=0, max_value=1 << 20)),
+                max_size=200))
+def test_tlb_lookup_returns_last_inserted_or_none(ops):
+    """A hit always returns the most recent mapping inserted for the page."""
+    tlb = SoftwareTLB(pid=1, nentries=64)
+    latest = {}
+    for vpage, frame in ops:
+        tlb.insert(vpage, frame)
+        latest[vpage] = frame
+    for vpage, frame in latest.items():
+        got = tlb.lookup(vpage)
+        assert got is None or got == frame
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1023), max_size=300))
+def test_tlb_occupancy_bounded_by_capacity(vpages):
+    tlb = SoftwareTLB(pid=1, nentries=16)
+    for vpage in vpages:
+        tlb.insert(vpage, vpage + 7)
+    assert tlb.occupancy <= 16
+    assert tlb.hits + tlb.misses == 0  # inserts alone never count lookups
+
+
+# --------------------------------------------------------------- address space
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=PAGE_SIZE - 1),
+       st.binary(min_size=1, max_size=3 * PAGE_SIZE))
+def test_virtual_rw_roundtrip_any_offset(npages, offset, payload):
+    mem = PhysicalMemory(64 * PAGE_SIZE)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(npages * PAGE_SIZE)
+    length = min(len(payload), npages * PAGE_SIZE - offset)
+    if length <= 0:
+        return
+    space.write(vaddr + offset, payload[:length])
+    assert space.read(vaddr + offset, length).tobytes() == payload[:length]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=PAGE_SIZE - 1),
+       st.integers(min_value=1, max_value=5 * PAGE_SIZE))
+def test_physical_extents_partition_exactly(offset, nbytes):
+    """Extents cover the byte range exactly, in order, page-bounded."""
+    mem = PhysicalMemory(64 * PAGE_SIZE)
+    space = AddressSpace(mem)
+    vaddr = space.mmap(6 * PAGE_SIZE)
+    extents = space.physical_extents(vaddr + offset, nbytes)
+    assert sum(length for _, length in extents) == nbytes
+    assert all(length > 0 for _, length in extents)
+    # No extent crosses a frame boundary unless frames were contiguous.
+    for paddr, length in extents:
+        if length > PAGE_SIZE:
+            first = paddr // PAGE_SIZE
+            last = (paddr + length - 1) // PAGE_SIZE
+            assert list(range(first, last + 1)) == \
+                sorted(range(first, last + 1))
+
+
+@given(st.integers(min_value=0, max_value=1 << 24),
+       st.integers(min_value=0, max_value=1 << 16))
+def test_pages_spanned_consistent_with_manual_count(vaddr, nbytes):
+    if nbytes == 0:
+        assert pages_spanned(vaddr, nbytes) == 0
+    else:
+        expected = (vaddr + nbytes - 1) // PAGE_SIZE - vaddr // PAGE_SIZE + 1
+        assert pages_spanned(vaddr, nbytes) == expected
+
+
+# ------------------------------------------------------------------------- XDR
+@given(st.lists(st.binary(max_size=200), max_size=10))
+def test_xdr_opaque_sequence_roundtrip(blobs):
+    enc = XdrEncoder()
+    for blob in blobs:
+        enc.pack_opaque(blob)
+    dec = XdrDecoder(enc.getvalue())
+    assert [dec.unpack_opaque() for _ in blobs] == blobs
+    assert dec.done()
+
+
+@given(st.lists(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+                max_size=50))
+def test_xdr_int_list_roundtrip(values):
+    enc = XdrEncoder().pack_array(values, lambda e, v: e.pack_int(v))
+    assert XdrDecoder(enc.getvalue()).unpack_array(
+        lambda d: d.unpack_int()) == values
+
+
+@given(st.binary(max_size=128))
+def test_xdr_stream_always_word_aligned(blob):
+    enc = XdrEncoder().pack_opaque(blob)
+    assert len(enc.getvalue()) % 4 == 0
+
+
+# ---------------------------------------------------------- end-to-end payload
+@settings(max_examples=5, deadline=None)
+@given(st.binary(min_size=1, max_size=30_000),
+       st.integers(min_value=0, max_value=PAGE_SIZE - 1))
+def test_vmmc_delivers_arbitrary_payloads_intact(payload, dest_offset):
+    """Whatever the bytes, size or destination alignment: what the sender
+    wrote is exactly what lands in the exported buffer."""
+    from repro import Cluster, TestbedConfig
+
+    cluster = Cluster.build(TestbedConfig(nnodes=2, memory_mb=8))
+    env = cluster.env
+    _, sender = cluster.nodes[0].attach_process("s")
+    _, receiver = cluster.nodes[1].attach_process("r")
+
+    def app():
+        inbox = receiver.alloc_buffer(64 * 1024)
+        yield receiver.export(inbox, "inbox")
+        imported = yield sender.import_buffer("node1", "inbox")
+        src = sender.alloc_buffer(64 * 1024)
+        src.write(payload)
+        yield sender.send(src, imported, len(payload),
+                          dest_offset=dest_offset)
+        yield env.timeout(5_000_000)
+        assert inbox.read(dest_offset, len(payload)).tobytes() == payload
+
+    env.run(until=env.process(app()))

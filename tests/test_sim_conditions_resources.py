@@ -1,0 +1,317 @@
+"""Tests for condition events, resources, stores and tracing."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Resource,
+    SimulationError,
+    Store,
+    Tracer,
+)
+from repro.sim.trace import emit
+
+
+# ---------------------------------------------------------------- conditions
+def test_all_of_waits_for_all():
+    env = Environment()
+    times = {}
+
+    def proc():
+        t1 = env.timeout(5, value="a")
+        t2 = env.timeout(9, value="b")
+        result = yield AllOf(env, [t1, t2])
+        times["done"] = env.now
+        times["values"] = sorted(result.values())
+
+    env.process(proc())
+    env.run()
+    assert times["done"] == 9
+    assert times["values"] == ["a", "b"]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    got = {}
+
+    def proc():
+        fast = env.timeout(2, value="fast")
+        slow = env.timeout(50, value="slow")
+        result = yield AnyOf(env, [fast, slow])
+        got["t"] = env.now
+        got["values"] = list(result.values())
+
+    env.process(proc())
+    env.run()
+    assert got["t"] == 2
+    assert got["values"] == ["fast"]
+
+
+def test_and_or_operators():
+    env = Environment()
+    got = {}
+
+    def proc():
+        a = env.timeout(1, value=1)
+        b = env.timeout(2, value=2)
+        res = yield a & b
+        got["and_t"] = env.now
+        c = env.timeout(1, value=3)
+        d = env.timeout(100, value=4)
+        res2 = yield c | d
+        got["or_t"] = env.now
+        got["or_vals"] = list(res2.values())
+
+    env.process(proc())
+    env.run()
+    assert got["and_t"] == 2
+    assert got["or_t"] == 3
+    assert got["or_vals"] == [3]
+
+
+def test_empty_all_of_fires_immediately():
+    env = Environment()
+    got = {}
+
+    def proc():
+        res = yield AllOf(env, [])
+        got["t"] = env.now
+        got["res"] = res
+
+    env.process(proc())
+    env.run()
+    assert got == {"t": 0, "res": {}}
+
+
+def test_condition_failure_propagates():
+    env = Environment()
+    caught = {}
+
+    def failer():
+        yield env.timeout(1)
+        raise RuntimeError("inner failure")
+
+    def waiter():
+        try:
+            yield AllOf(env, [env.timeout(100), env.process(failer())])
+        except RuntimeError as exc:
+            caught["exc"] = exc
+
+    env.process(waiter())
+    env.run()
+    assert "exc" in caught
+
+
+def test_condition_mixed_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(SimulationError):
+        AllOf(env1, [env1.timeout(1), env2.timeout(1)])
+
+
+# ---------------------------------------------------------------- resources
+def test_resource_capacity_one_serializes():
+    env = Environment()
+    log = []
+
+    def user(res, tag, hold):
+        with res.request() as req:
+            yield req
+            log.append((tag, "in", env.now))
+            yield env.timeout(hold)
+            log.append((tag, "out", env.now))
+
+    res = Resource(env, capacity=1)
+    env.process(user(res, "a", 10))
+    env.process(user(res, "b", 10))
+    env.run()
+    assert log == [
+        ("a", "in", 0), ("a", "out", 10),
+        ("b", "in", 10), ("b", "out", 20),
+    ]
+
+
+def test_resource_capacity_two_overlaps():
+    env = Environment()
+    entries = []
+
+    def user(res, tag):
+        with res.request() as req:
+            yield req
+            entries.append((tag, env.now))
+            yield env.timeout(10)
+
+    res = Resource(env, capacity=2)
+    for tag in "abc":
+        env.process(user(res, tag))
+    env.run()
+    assert entries == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_resource_priority_order():
+    env = Environment()
+    order = []
+
+    def holder(res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def user(res, tag, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(tag)
+
+    res = Resource(env, capacity=1)
+    env.process(holder(res))
+    env.process(user(res, "low", 5, 1))
+    env.process(user(res, "high", 0, 2))  # arrives later, higher priority
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    snap = {}
+
+    def a():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def b():
+        yield env.timeout(1)
+        req = res.request()
+        snap["queued"] = res.queue_length
+        snap["count"] = res.count
+        yield req
+        res.release(req)
+
+    env.process(a())
+    env.process(b())
+    env.run()
+    assert snap == {"queued": 1, "count": 1}
+    assert res.count == 0
+
+
+def test_resource_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+# ------------------------------------------------------------------- stores
+def test_store_fifo_order():
+    env = Environment()
+    got = []
+
+    def producer(store):
+        for i in range(3):
+            yield env.timeout(1)
+            store.put(i)
+
+    def consumer(store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, env.now))
+
+    s = Store(env)
+    env.process(producer(s))
+    env.process(consumer(s))
+    env.run()
+    assert got == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    got = {}
+
+    def consumer(store):
+        got["item"] = yield store.get()
+        got["t"] = env.now
+
+    def producer(store):
+        yield env.timeout(42)
+        store.put("pkt")
+
+    s = Store(env)
+    env.process(consumer(s))
+    env.process(producer(s))
+    env.run()
+    assert got == {"item": "pkt", "t": 42}
+
+
+def test_bounded_store_put_blocks_when_full():
+    env = Environment()
+    log = []
+
+    def producer(store):
+        for i in range(3):
+            yield store.put(i)
+            log.append(("put", i, env.now))
+
+    def consumer(store):
+        yield env.timeout(10)
+        item = yield store.get()
+        log.append(("get", item, env.now))
+
+    s = Store(env, capacity=2)
+    env.process(producer(s))
+    env.process(consumer(s))
+    env.run()
+    # Third put had to wait for the consumer to drain one item at t=10.
+    assert ("put", 0, 0) in log and ("put", 1, 0) in log
+    assert ("put", 2, 10) in log
+
+
+def test_store_len():
+    env = Environment()
+    s = Store(env)
+    s.put("x")
+    s.put("y")
+    env.run()
+    assert len(s) == 2
+
+
+def test_store_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+# ------------------------------------------------------------------ tracing
+def test_tracer_records_and_filters():
+    tracer = Tracer(keep=lambda c: c.startswith("pci."))
+    env = Environment(tracer=tracer)
+
+    def proc():
+        emit(env, "pci.dma.start", size=4096)
+        yield env.timeout(100)
+        emit(env, "lanai.loop", n=1)  # filtered out
+        emit(env, "pci.dma.done", size=4096)
+
+    env.process(proc())
+    env.run()
+    assert tracer.categories() == ["pci.dma.start", "pci.dma.done"]
+    assert tracer.records[0].time == 0
+    assert tracer.records[1].time == 100
+    assert tracer.records[0].payload["size"] == 4096
+    assert len(tracer.by_category("pci.dma")) == 2
+
+
+def test_emit_without_tracer_is_noop():
+    env = Environment()
+    emit(env, "anything", x=1)  # must not raise
+
+
+def test_tracer_limit():
+    tracer = Tracer(limit=2)
+    env = Environment(tracer=tracer)
+    for i in range(5):
+        emit(env, f"cat{i}")
+    assert len(tracer) == 2
+    tracer.clear()
+    assert len(tracer) == 0

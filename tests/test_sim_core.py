@@ -1,0 +1,383 @@
+"""Unit tests for the discrete-event engine core (Environment/Event/Process)."""
+
+import pytest
+
+from repro.sim import (
+    US,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+    ns_to_us,
+    us,
+)
+
+
+def test_time_helpers_roundtrip():
+    assert us(9.8) == 9800
+    assert ns_to_us(9800) == pytest.approx(9.8)
+    assert us(0) == 0
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0
+    assert env.now_us == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = {}
+
+    def proc():
+        yield env.timeout(5 * US)
+        done["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert done["t"] == 5 * US
+    assert env.now == 5 * US
+
+
+def test_timeout_value_passed_through():
+    env = Environment()
+    got = {}
+
+    def proc():
+        got["v"] = yield env.timeout(10, value="payload")
+
+    env.process(proc())
+    env.run()
+    assert got["v"] == "payload"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc())
+    env.run()
+    assert p.triggered and p.ok
+    assert p.value == 42
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+        return "done"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "done"
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=105)
+    assert env.now == 105
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(100)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_waits_on_another_process():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(7)
+        log.append(("child", env.now))
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        log.append(("parent", env.now))
+        assert result == "child-result"
+
+    env.process(parent())
+    env.run()
+    assert log == [("child", 7), ("parent", 7)]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    got = {}
+
+    def waiter():
+        got["v"] = yield gate
+
+    def opener():
+        yield env.timeout(50)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert got["v"] == "open"
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = {}
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught["exc"] = exc
+
+    def failer():
+        yield env.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert isinstance(caught["exc"], ValueError)
+
+
+def test_unhandled_failed_event_escalates():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        env.run()
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+    caught = {}
+
+    def bad():
+        yield env.timeout(1)
+        raise KeyError("inner")
+
+    def outer():
+        try:
+            yield env.process(bad())
+        except KeyError as exc:
+            caught["exc"] = exc
+
+    env.process(outer())
+    env.run()
+    assert "exc" in caught
+
+
+def test_run_until_failed_process_raises():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("surface me")
+
+    p = env.process(bad())
+    with pytest.raises(ValueError, match="surface me"):
+        env.run(until=p)
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+    caught = {}
+
+    def bad():
+        try:
+            yield 123
+        except SimulationError as exc:
+            caught["exc"] = exc
+
+    env.process(bad())
+    env.run()
+    assert "exc" in caught
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(1000)
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+
+    def interrupter(target):
+        yield env.timeout(10)
+        target.interrupt("wake-up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [(10, "wake-up")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    assert not p.is_alive
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def worker():
+        try:
+            yield env.timeout(1000)
+        except Interrupt:
+            log.append("interrupted")
+        yield env.timeout(5)
+        log.append(env.now)
+
+    def poker(target):
+        yield env.timeout(10)
+        target.interrupt()
+
+    p = env.process(worker())
+    env.process(poker(p))
+    env.run()
+    assert log == ["interrupted", 15]
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=never)
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(25)
+    assert env.peek() == 25
+    env.step()
+    assert env.now == 25
+    assert env.peek() is None
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_already_processed_event_yield_returns_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("early")
+    env.run()  # process the event so it is 'processed'
+    got = {}
+
+    def late_waiter():
+        got["v"] = yield ev
+        got["t"] = env.now
+
+    env.process(late_waiter())
+    env.run()
+    assert got == {"v": "early", "t": 0}
+
+
+def test_nested_process_chain_times_accumulate():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(3)
+        return 1
+
+    def middle():
+        v = yield env.process(inner())
+        yield env.timeout(4)
+        return v + 1
+
+    def outer():
+        v = yield env.process(middle())
+        yield env.timeout(5)
+        return v + 1
+
+    p = env.process(outer())
+    env.run()
+    assert p.value == 3
+    assert env.now == 12
+
+
+def test_interrupt_beats_same_time_timeout():
+    # An interrupt scheduled at the same timestamp as the timeout the
+    # process waits on must be delivered as the interrupt, not the timeout.
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(10)
+            log.append("timeout")
+        except Interrupt:
+            log.append("interrupt")
+
+    def poker(target):
+        yield env.timeout(10)
+        if target.is_alive:
+            target.interrupt()
+
+    p = env.process(sleeper())
+    env.process(poker(p))
+    env.run()
+    # sleeper's timeout fires first in FIFO order (it was scheduled first),
+    # so by the time poker runs the process is done and not interrupted.
+    assert log == ["timeout"]
+
+
+def test_many_processes_scale():
+    env = Environment()
+    counter = {"n": 0}
+
+    def worker(i):
+        yield env.timeout(i)
+        counter["n"] += 1
+
+    for i in range(1000):
+        env.process(worker(i))
+    env.run()
+    assert counter["n"] == 1000
+    assert env.now == 999
