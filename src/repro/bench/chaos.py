@@ -1,0 +1,193 @@
+"""Chaos/reliability measurement drivers (extension beyond the paper).
+
+The experiment the paper could not run: sweep the per-packet link error
+rate and compare **baseline VMMC** (section 4.2: CRC errors detected,
+counted, dropped — never recovered) against the
+:mod:`repro.vmmc.reliable` retransmission layer, on identical simulated
+hardware.  A second driver runs reliable traffic *under a seeded
+fault campaign* (bit-error bursts injected mid-run) to demonstrate that
+chaos here is deterministic: same seed, same drops, same retransmit
+counts, byte for byte.
+
+Used by ``python -m repro chaos`` and
+``benchmarks/bench_chaos_reliability.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import Environment
+from repro.cluster import Cluster, TestbedConfig
+from repro.hw.myrinet.link import LinkParams
+from repro.faults import FaultCampaign, FaultInjector, FaultStats
+from repro.vmmc.reliable import HEADER_BYTES, open_channel
+
+#: Settle time after the last send before the delivered count is read:
+#: generous enough for any in-flight DMA/ACK to land.
+DRAIN_NS = 5_000_000
+
+
+def _pattern(index: int, size: int) -> bytes:
+    """Deterministic, per-message payload (detects corruption *and*
+    cross-message misdelivery)."""
+    return bytes((index * 7 + j * 13 + 5) % 256 for j in range(size))
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One (error rate, protocol) cell of the chaos sweep."""
+
+    error_rate: float
+    mode: str                 # "baseline" or "reliable"
+    messages: int
+    size: int
+    delivered_intact: int
+    crc_drops: int
+    retransmits: int
+    acks_resent: int
+    duplicates_suppressed: int
+    send_failures: int
+    elapsed_ns: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered_intact / self.messages if self.messages else 0.0
+
+    @property
+    def goodput_mbps(self) -> float:
+        """Intact payload bytes per second of simulated time, in MB/s."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return (self.delivered_intact * self.size) / (self.elapsed_ns / 1e3)
+
+
+def _two_node_cluster(error_rate: float) -> Cluster:
+    return Cluster.build(TestbedConfig(
+        nnodes=2, memory_mb=32,
+        link=LinkParams(error_rate=error_rate)))
+
+
+def run_baseline_point(error_rate: float, messages: int = 100,
+                       size: int = 1024) -> ChaosPoint:
+    """Plain VMMC sends over a lossy fabric: whatever the CRC kills is
+    gone; the receiver's buffer simply never changes."""
+    cluster = _two_node_cluster(error_rate)
+    env = cluster.env
+    _, ep_tx = cluster.nodes[0].attach_process("chaos_tx")
+    _, ep_rx = cluster.nodes[1].attach_process("chaos_rx")
+    inbox = ep_rx.alloc_buffer(messages * size)
+    inbox.fill(0)
+    src = ep_tx.alloc_buffer(size)
+    result: dict[str, int] = {}
+
+    def app():
+        yield ep_rx.export(inbox, "chaos_inbox")
+        imported = yield ep_tx.import_buffer("node1", "chaos_inbox")
+        start = env.now
+        for i in range(messages):
+            src.write(_pattern(i, size))
+            yield ep_tx.send(src, imported, size, dest_offset=i * size)
+        result["elapsed"] = env.now - start
+
+    done = env.process(app())
+    env.run(until=done)
+    # Let in-flight DMAs land before auditing the receive buffer; the
+    # drain window is *not* charged to goodput (a real receiver has no
+    # way to know when the stream ended — that is the point).
+    env.run(until=env.now + DRAIN_NS)
+
+    intact = sum(
+        1 for i in range(messages)
+        if inbox.read(i * size, size).tobytes() == _pattern(i, size))
+    return ChaosPoint(
+        error_rate=error_rate, mode="baseline", messages=messages,
+        size=size, delivered_intact=intact,
+        crc_drops=cluster.nodes[1].lcp.crc_drops,
+        retransmits=0, acks_resent=0, duplicates_suppressed=0,
+        send_failures=0, elapsed_ns=result["elapsed"])
+
+
+def run_reliable_point(error_rate: float, messages: int = 100,
+                       size: int = 1024,
+                       campaign: Optional[FaultCampaign] = None
+                       ) -> tuple[ChaosPoint, Optional[FaultStats]]:
+    """Reliable-VMMC transfer over the same lossy fabric, optionally with
+    a fault campaign running concurrently.  Returns the measurement point
+    and the campaign's :class:`FaultStats` (None without a campaign)."""
+    cluster = _two_node_cluster(error_rate)
+    env = cluster.env
+    _, ep_tx = cluster.nodes[0].attach_process("chaos_tx")
+    _, ep_rx = cluster.nodes[1].attach_process("chaos_rx")
+    tx, rx = env.run(until=open_channel(
+        ep_tx, ep_rx, "chaos", slot_bytes=HEADER_BYTES + size))
+
+    fault_stats: Optional[FaultStats] = None
+    if campaign is not None:
+        injector = FaultInjector(cluster)
+        injector.run(campaign)
+        fault_stats = injector.stats
+
+    result: dict[str, object] = {}
+
+    def receiver():
+        got = []
+        for _ in range(messages):
+            payload = yield rx.recv()
+            got.append(payload)
+        result["got"] = got
+        result["end"] = env.now
+
+    def sender():
+        for i in range(messages):
+            yield tx.send(_pattern(i, size))
+
+    start = env.now
+    rx_proc = env.process(receiver())
+    env.process(sender())
+    env.run(until=rx_proc)
+    env.run(until=env.now + DRAIN_NS)
+
+    got = result["got"]
+    intact = sum(1 for i, g in enumerate(got) if g == _pattern(i, size))
+    elapsed = int(result["end"]) - start
+    return ChaosPoint(
+        error_rate=error_rate, mode="reliable", messages=messages,
+        size=size, delivered_intact=intact,
+        crc_drops=(cluster.nodes[0].lcp.crc_drops
+                   + cluster.nodes[1].lcp.crc_drops),
+        retransmits=tx.stats.retransmits,
+        acks_resent=rx.stats.acks_resent,
+        duplicates_suppressed=rx.stats.duplicates_suppressed,
+        send_failures=tx.stats.send_failures,
+        elapsed_ns=elapsed), fault_stats
+
+
+def burst_campaign(cluster_links: list[str], seed: int,
+                   nbursts: int = 3, rate: float = 0.4,
+                   burst_ns: int = 300_000) -> FaultCampaign:
+    """The canonical chaos-bench campaign: clustered error bursts on the
+    data path, deterministically placed by ``seed``."""
+    return FaultCampaign.random_link_bursts(
+        cluster_links, seed=seed, nbursts=nbursts, rate=rate,
+        start_ns=20_000, window_ns=3_000_000, burst_ns=burst_ns,
+        name=f"bursts.seed{seed}")
+
+
+def data_path_links() -> list[str]:
+    """Link names on the node0→node1 data path of the 2-node testbed
+    (data packets and ACKs traverse these)."""
+    return ["node0->sw0", "sw0->node1", "node1->sw0", "sw0->node0"]
+
+
+def run_campaign_point(seed: int, messages: int = 60, size: int = 1024
+                       ) -> tuple[ChaosPoint, FaultStats]:
+    """Reliable traffic on a *clean* fabric with seeded error bursts
+    injected mid-run — the determinism fixture: two calls with the same
+    seed must return identical FaultStats and retransmit counts."""
+    campaign = burst_campaign(data_path_links(), seed=seed)
+    point, stats = run_reliable_point(0.0, messages=messages, size=size,
+                                      campaign=campaign)
+    assert stats is not None
+    return point, stats

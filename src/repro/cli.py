@@ -12,6 +12,8 @@ dma          Figure 1 — host↔LANai DMA bandwidth curve
 shootout     sections 6–7 — every protocol on identical hardware
 vrpc         section 5.4 — vRPC vs SunRPC/UDP
 sram         NIC SRAM accounting of a booted node
+chaos        extension — lossy-link sweep + fault campaign: baseline
+             VMMC vs the reliable-delivery layer
 ===========  ===========================================================
 """
 
@@ -145,6 +147,45 @@ def cmd_sram(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.bench.chaos import (
+        run_baseline_point,
+        run_campaign_point,
+        run_reliable_point,
+    )
+
+    rows = []
+    for rate in args.rates:
+        base = run_baseline_point(rate, messages=args.messages,
+                                  size=args.size)
+        rel, _ = run_reliable_point(rate, messages=args.messages,
+                                    size=args.size)
+        for p in (base, rel):
+            rows.append([f"{rate:g}", p.mode,
+                         f"{p.delivered_intact}/{p.messages}",
+                         p.crc_drops, p.retransmits,
+                         f"{p.goodput_mbps:.1f}"])
+    print(format_table(
+        f"Chaos sweep: {args.messages} x {args.size}B messages per cell "
+        "(baseline VMMC drops silently; reliable-VMMC retransmits)",
+        ["error rate", "mode", "intact", "crc drops", "retransmits",
+         "goodput MB/s"], rows))
+    point, stats = run_campaign_point(seed=args.seed,
+                                      messages=max(20, args.messages // 2),
+                                      size=args.size)
+    print(f"\nFault campaign '{stats.campaign}' (seed {stats.seed}): "
+          f"{stats.faults_raised} faults raised, "
+          f"{point.delivered_intact}/{point.messages} intact, "
+          f"{point.retransmits} retransmits, "
+          f"{point.duplicates_suppressed} duplicates suppressed "
+          "(rerun with the same seed for identical numbers)")
+    return 0
+
+
+def _rates(text: str) -> list[float]:
+    return [float(s) for s in text.split(",") if s]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -188,6 +229,16 @@ def build_parser() -> argparse.ArgumentParser:
     sram = sub.add_parser("sram", help="NIC SRAM accounting")
     sram.add_argument("--processes", type=int, default=2)
     sram.set_defaults(func=cmd_sram)
+
+    chaos = sub.add_parser(
+        "chaos", help="lossy-link sweep + fault campaign: baseline vs "
+                      "reliable VMMC")
+    chaos.add_argument("--rates", type=_rates,
+                       default=[0.0, 1e-6, 1e-4, 1e-3])
+    chaos.add_argument("--messages", type=int, default=60)
+    chaos.add_argument("--size", type=int, default=1024)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

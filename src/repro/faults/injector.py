@@ -1,0 +1,119 @@
+"""The fault injector: drives a campaign against a booted cluster.
+
+One simulation process per scheduled :class:`FaultEvent` sleeps until the
+event's time, applies the fault through the hardware/daemon hooks, emits a
+``fault.<kind>.raise`` trace point, sleeps the fault's duration, clears it
+(``fault.<kind>.clear``), and accounts everything in a
+:class:`~repro.faults.campaign.FaultStats`.
+
+The injector touches only public fault hooks:
+
+* ``Link.set_error_rate`` / ``set_down`` / ``set_up``
+* ``Switch.set_port_down`` / ``set_port_up``
+* ``LANaiProcessor.stall``
+* ``VMMCDaemon.crash`` / ``restart``
+
+so it composes with any workload that runs on the same cluster — the chaos
+benchmark runs VMMC traffic while the injector pulls cables out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import Environment, Process
+from repro.sim.trace import emit
+from repro.faults.campaign import (
+    DAEMON_CRASH,
+    FaultCampaign,
+    FaultEvent,
+    FaultStats,
+    LANAI_STALL,
+    LINK_DOWN,
+    LINK_ERROR_BURST,
+    SWITCH_PORT_DOWN,
+)
+
+
+class FaultInjector:
+    """Applies :class:`FaultCampaign` s to one cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.stats: Optional[FaultStats] = None
+
+    # -- target resolution ---------------------------------------------------
+    def _node(self, name: str):
+        return self.cluster.node(name)
+
+    def _apply(self, event: FaultEvent) -> None:
+        """Raise one fault (instantaneous state flip)."""
+        fabric = self.cluster.fabric
+        if event.kind == LINK_ERROR_BURST:
+            fabric.find_link(event.target).set_error_rate(
+                float(event.params["rate"]))
+        elif event.kind == LINK_DOWN:
+            fabric.find_link(event.target).set_down()
+        elif event.kind == SWITCH_PORT_DOWN:
+            switch_name, port = event.target.rsplit(":", 1)
+            fabric.switches[switch_name].set_port_down(int(port))
+        elif event.kind == LANAI_STALL:
+            self._node(event.target).nic.processor.stall(event.duration_ns)
+        elif event.kind == DAEMON_CRASH:
+            self._node(event.target).daemon.crash()
+        else:  # pragma: no cover - FaultEvent validates kinds
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    def _clear(self, event: FaultEvent) -> None:
+        """Clear one fault (inverse state flip)."""
+        fabric = self.cluster.fabric
+        if event.kind == LINK_ERROR_BURST:
+            fabric.find_link(event.target).clear_error_rate()
+        elif event.kind == LINK_DOWN:
+            fabric.find_link(event.target).set_up()
+        elif event.kind == SWITCH_PORT_DOWN:
+            switch_name, port = event.target.rsplit(":", 1)
+            fabric.switches[switch_name].set_port_up(int(port))
+        elif event.kind == LANAI_STALL:
+            pass  # the stall expires on its own inside the processor
+        elif event.kind == DAEMON_CRASH:
+            self._node(event.target).daemon.restart()
+
+    # -- execution ------------------------------------------------------------
+    def run(self, campaign: FaultCampaign) -> Process:
+        """Process: drive the whole campaign; value is its
+        :class:`FaultStats`.  One child process per event, so overlapping
+        faults on different targets proceed independently."""
+        stats = FaultStats(campaign=campaign.name, seed=campaign.seed)
+        self.stats = stats
+
+        def drive_one(event: FaultEvent):
+            delay = event.at_ns - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            raised_at = self.env.now
+            self._apply(event)
+            stats.record_raise(event, raised_at)
+            emit(self.env, f"fault.{event.kind}.raise",
+                 target=event.target, duration_ns=event.duration_ns,
+                 **event.params)
+            if event.duration_ns is None and event.kind != LANAI_STALL:
+                return  # permanent fault — never cleared
+            yield self.env.timeout(event.duration_ns)
+            self._clear(event)
+            stats.record_clear(event, raised_at, self.env.now)
+            emit(self.env, f"fault.{event.kind}.clear", target=event.target)
+
+        def drive_all():
+            children = [
+                self.env.process(drive_one(event),
+                                 name=f"fault.{event.kind}.{event.target}")
+                for event in campaign
+            ]
+            for child in children:
+                yield child
+            return stats
+
+        return self.env.process(drive_all(),
+                                name=f"faults.campaign.{campaign.name}")

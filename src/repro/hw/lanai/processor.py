@@ -27,11 +27,34 @@ class LANaiProcessor:
         self.env = env
         self.cycle_ns = cycle_ns
         self.cycles_charged = 0
+        #: Fault hook: absolute sim time until which the processor is
+        #: frozen (clock-stop / firmware-hang injection).
+        self._stall_until = 0
+        self.stall_ns_served = 0
+
+    def stall(self, duration_ns: int) -> None:
+        """Freeze the processor for ``duration_ns`` (fault injection).
+
+        The next :meth:`cycles` charge is delayed until the stall window
+        has passed — the whole LCP pauses, since it is one process whose
+        every step funnels through this accounting.  Overlapping stalls
+        extend, never shorten.
+        """
+        if duration_ns < 0:
+            raise ValueError("negative stall duration")
+        self._stall_until = max(self._stall_until,
+                                self.env.now + duration_ns)
 
     def cycles(self, n: int):
-        """Timeout event worth ``n`` processor cycles."""
+        """Timeout event worth ``n`` processor cycles (plus any pending
+        injected stall time)."""
         self.cycles_charged += n
-        return self.env.timeout(n * self.cycle_ns)
+        duration = n * self.cycle_ns
+        if self._stall_until > self.env.now:
+            extra = self._stall_until - self.env.now
+            self.stall_ns_served += extra
+            duration += extra
+        return self.env.timeout(duration)
 
     def work_ns(self, ns: int):
         """Timeout event for ``ns`` nanoseconds of firmware work, rounded

@@ -12,10 +12,21 @@ Bit errors are injected by an optional error process with the paper's
 "very rare, clustered" character (section 4.2): a Bernoulli draw per packet
 under normal operation, or a burst when a simulated hardware fault is
 switched on.
+
+Fault hooks (used by :mod:`repro.faults`):
+
+* :meth:`set_down` / :meth:`set_up` — a dead cable.  Packets whose tail
+  would arrive while the link is down are lost in the fabric (the worm is
+  truncated; downstream hardware sees nothing and the sender is not told —
+  exactly the failure VMMC's base layer cannot survive).
+* :meth:`set_error_rate` / :meth:`clear_error_rate` — a temporary
+  per-packet corruption-probability override modelling a clustered
+  bit-error burst.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -42,6 +53,18 @@ class LinkParams:
         return max(1, (wire_bytes * self.ns_per_kb) // 1000)
 
 
+def _seed_from_name(name: str) -> int:
+    """Deterministic per-link RNG seed derived from the link's name.
+
+    Independently-constructed links must not share an error sequence: a
+    shared ``default_rng(0)`` fallback made two lossy hops draw identical
+    Bernoulli streams (and could even flip the same bit twice, silently
+    cancelling an injected error).  CRC-32 of the name is stable across
+    runs and processes (unlike ``hash``) and distinct per link name.
+    """
+    return zlib.crc32(name.encode("utf-8"))
+
+
 class Link:
     """Unidirectional link from a source port to a sink callable.
 
@@ -57,11 +80,46 @@ class Link:
         self.name = name
         self.sink: Optional[Callable[[MyrinetPacket], object]] = None
         self._wire = Resource(env, capacity=1)
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng or np.random.default_rng(_seed_from_name(name))
+        self._error_override: Optional[float] = None
+        self._up = True
         self.packets_carried = 0
         self.bytes_carried = 0
         self.errors_injected = 0
+        self.packets_lost_down = 0
 
+    # -- fault hooks ----------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    @property
+    def effective_error_rate(self) -> float:
+        return (self.params.error_rate if self._error_override is None
+                else self._error_override)
+
+    def set_down(self) -> None:
+        """Take the cable down: in-flight and future worms are lost."""
+        self._up = False
+        emit(self.env, f"{self.name}.down")
+
+    def set_up(self) -> None:
+        self._up = True
+        emit(self.env, f"{self.name}.up")
+
+    def set_error_rate(self, rate: float) -> None:
+        """Override the per-packet corruption probability (error burst)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"error rate {rate} outside [0, 1]")
+        self._error_override = rate
+        emit(self.env, f"{self.name}.error_burst", rate=rate)
+
+    def clear_error_rate(self) -> None:
+        """Return to the configured baseline error rate."""
+        self._error_override = None
+        emit(self.env, f"{self.name}.error_clear")
+
+    # -- data path ------------------------------------------------------------
     def connect(self, sink: Callable[[MyrinetPacket], object]) -> None:
         self.sink = sink
 
@@ -78,8 +136,8 @@ class Link:
                 wire_time = self.params.wire_time_ns(packet.wire_bytes)
                 emit(self.env, f"{self.name}.tx",
                      bytes=packet.wire_bytes, wire_time=wire_time)
-                if self.params.error_rate > 0 and \
-                        self._rng.random() < self.params.error_rate:
+                error_rate = self.effective_error_rate
+                if error_rate > 0 and self._rng.random() < error_rate:
                     packet.corrupt(bit=int(self._rng.integers(0, 1 << 16)))
                     self.errors_injected += 1
                 self.packets_carried += 1
@@ -93,6 +151,13 @@ class Link:
 
     def _deliver(self, packet: MyrinetPacket):
         yield self.env.timeout(self.params.latency_ns)
+        if not self._up:
+            # Dead cable: the worm never reaches the far end.  Nobody is
+            # notified — Myrinet hardware gives the sender no feedback.
+            self.packets_lost_down += 1
+            emit(self.env, f"{self.name}.lost_down",
+                 bytes=packet.wire_bytes)
+            return
         result = self.sink(packet)
         if hasattr(result, "__next__"):
             # Sink is a generator — run it as a process.

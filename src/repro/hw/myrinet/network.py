@@ -56,7 +56,6 @@ class MyrinetNetwork:
         self.switches: dict[str, Switch] = {}
         self.hosts: dict[str, _HostPort] = {}
         self._links: list[Link] = []
-        self._link_seed = 0
 
     # -- construction ---------------------------------------------------------
     def add_switch(self, name: str, nports: int = 8) -> Switch:
@@ -88,16 +87,12 @@ class MyrinetNetwork:
     def connect(self, a: PortRef, b: PortRef,
                 link_params: LinkParams | None = None) -> None:
         """Run a full-duplex cable between two endpoints."""
-        import numpy as np
-
         params = link_params or self.link_params
-        # Distinct RNG streams per link: two hops must never flip the same
-        # bit and silently cancel an injected error.
-        self._link_seed += 2
-        link_ab = Link(self.env, params, name=f"{a.device}->{b.device}",
-                       rng=np.random.default_rng(self._link_seed))
-        link_ba = Link(self.env, params, name=f"{b.device}->{a.device}",
-                       rng=np.random.default_rng(self._link_seed + 1))
+        # Distinct RNG streams per link come from the name-derived seed
+        # fallback in Link: two hops must never flip the same bit and
+        # silently cancel an injected error.
+        link_ab = Link(self.env, params, name=f"{a.device}->{b.device}")
+        link_ba = Link(self.env, params, name=f"{b.device}->{a.device}")
         self._links += [link_ab, link_ba]
         link_ab.connect(self._sink_of(b))
         link_ba.connect(self._sink_of(a))
@@ -155,6 +150,28 @@ class MyrinetNetwork:
     @property
     def host_names(self) -> list[str]:
         return sorted(self.hosts)
+
+    # -- fault-injection surface ----------------------------------------------
+    @property
+    def links(self) -> list[Link]:
+        """All unidirectional links in the fabric (fault-injection surface)."""
+        return list(self._links)
+
+    def find_link(self, name: str) -> Link:
+        """Look up a unidirectional link by its ``src->dst`` name."""
+        for link in self._links:
+            if link.name == name:
+                return link
+        raise KeyError(f"no link named {name!r} "
+                       f"(have: {[l.name for l in self._links]})")
+
+    def cable_links(self, a: str, b: str) -> list[Link]:
+        """Both directions of the full-duplex cable between two devices."""
+        found = [l for l in self._links
+                 if l.name in (f"{a}->{b}", f"{b}->{a}")]
+        if not found:
+            raise KeyError(f"no cable between {a!r} and {b!r}")
+        return found
 
     # -- canned topologies ---------------------------------------------------------
     @classmethod

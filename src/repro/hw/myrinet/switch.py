@@ -31,13 +31,32 @@ class Switch:
         self.latency_ns = latency_ns
         self._out_links: list[Optional[Link]] = [None] * nports
         self._out_ports = [Resource(env, capacity=1) for _ in range(nports)]
+        self._down_ports: set[int] = set()
         self.packets_forwarded = 0
         self.drops = 0
+        self.port_down_drops = 0
 
     def attach_output(self, port: int, link: Link) -> None:
         """Connect the outgoing side of ``port`` to a link."""
         self._check_port(port)
         self._out_links[port] = link
+
+    # -- fault hooks ----------------------------------------------------------
+    def set_port_down(self, port: int) -> None:
+        """Disable an output port: worms routed to it are dropped by the
+        crossbar exactly like worms naming an unconnected port."""
+        self._check_port(port)
+        self._down_ports.add(port)
+        emit(self.env, f"{self.name}.port_down", port=port)
+
+    def set_port_up(self, port: int) -> None:
+        self._check_port(port)
+        self._down_ports.discard(port)
+        emit(self.env, f"{self.name}.port_up", port=port)
+
+    def port_is_up(self, port: int) -> bool:
+        self._check_port(port)
+        return port not in self._down_ports
 
     def receive(self, packet: MyrinetPacket):
         """Sink for incoming links: route and forward (generator)."""
@@ -49,6 +68,12 @@ class Switch:
             # the hardware (this is what the mapping phase repairs).
             self.drops += 1
             emit(self.env, f"{self.name}.drop", port=port)
+            return
+        if port in self._down_ports:
+            # Faulted output port: the crossbar sinks the worm silently.
+            self.drops += 1
+            self.port_down_drops += 1
+            emit(self.env, f"{self.name}.drop_port_down", port=port)
             return
         with self._out_ports[port].request() as req:
             yield req

@@ -29,6 +29,9 @@ module                role
 ``daemon``            the per-node VMMC daemon (export/import matchmaking
                       over Ethernet)
 ``api``               the user-level VMMC basic library
+``reliable``          retransmission layer over the API (extension): ACK
+                      by remote-memory write, timeout + backoff + bounded
+                      retries, exactly-once payload application
 ====================  =====================================================
 """
 
@@ -36,6 +39,7 @@ from repro.vmmc.errors import (
     ExportError,
     ImportDenied,
     ProxyFault,
+    RetriesExhausted,
     SendError,
     VMMCError,
 )
@@ -44,6 +48,12 @@ from repro.vmmc.pagetables import IncomingPageTable, OutgoingPageTable
 from repro.vmmc.proxy import ProxySpace
 from repro.vmmc.tlb import SoftwareTLB
 from repro.vmmc.sendqueue import SendQueue, SHORT_SEND_LIMIT
+from repro.vmmc.reliable import (
+    ReliableReceiver,
+    ReliableSender,
+    ReliableStats,
+    open_channel,
+)
 
 __all__ = [
     "ExportError",
@@ -53,6 +63,10 @@ __all__ = [
     "OutgoingPageTable",
     "ProxyFault",
     "ProxySpace",
+    "ReliableReceiver",
+    "ReliableSender",
+    "ReliableStats",
+    "RetriesExhausted",
     "SHORT_SEND_LIMIT",
     "SendError",
     "SendHandle",
@@ -60,4 +74,5 @@ __all__ = [
     "SoftwareTLB",
     "VMMCEndpoint",
     "VMMCError",
+    "open_channel",
 ]

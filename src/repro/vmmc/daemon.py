@@ -74,12 +74,36 @@ class VMMCDaemon:
         self.imports_served = 0
         self.imports_denied = 0
         self._started = False
+        self._crashed = False
+        self.crashes = 0
+        self.requests_dropped_crashed = 0
 
     def start(self) -> None:
         if self._started:
             raise RuntimeError(f"{self.address} already started")
         self._started = True
         self.env.process(self._serve(), name=f"{self.address}.serve")
+
+    # -- fault hooks ----------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Kill the daemon process: requests arriving while it is down are
+        lost (Ethernet datagrams to a dead peer get no reply).  Established
+        export/import state survives — it lives on the NIC, and data
+        transfer does not involve the daemon (section 4.1)."""
+        self._crashed = True
+        self.crashes += 1
+        emit(self.env, f"{self.address}.crash")
+
+    def restart(self) -> None:
+        """Bring the daemon back up; its export table is rebuilt from the
+        surviving NIC state, so previously-matched pairs keep working and
+        *new* requests are serviced again."""
+        self._crashed = False
+        emit(self.env, f"{self.address}.restart")
 
     # -- local requests (called by the user library) ----------------------------
     def export(self, process: UserProcess, buffer: UserBuffer, name: str,
@@ -182,6 +206,13 @@ class VMMCDaemon:
         while True:
             datagram = yield self.ether.receive(self.address)
             message = datagram.payload
+            if self._crashed:
+                # Dead daemon: the datagram is consumed by the NIC but no
+                # process reads it — the requester sees silence.
+                self.requests_dropped_crashed += 1
+                emit(self.env, f"{self.address}.drop_crashed",
+                     op=message.get("op"))
+                continue
             op = message.get("op")
             if op == "import_req":
                 yield self.env.process(

@@ -25,3 +25,14 @@ class ProxyFault(VMMCError):
 
 class SendError(VMMCError):
     """Malformed send request (bad length, unmapped source...)."""
+
+
+class RetriesExhausted(VMMCError):
+    """Reliable-delivery layer: a message was retransmitted up to the
+    retry bound without an acknowledgement — the error completion the
+    base protocol never provides (it silently drops, section 4.2)."""
+
+    def __init__(self, message: str, seq: int = 0, retries: int = 0):
+        super().__init__(message)
+        self.seq = seq
+        self.retries = retries

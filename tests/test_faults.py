@@ -1,0 +1,267 @@
+"""Fault-injection campaigns: schedule validation, hardware fault hooks,
+the injector's end-to-end drive, and the CRC-drop path of the base
+protocol (section 4.2: detected, counted, dropped — never recovered)."""
+
+import pytest
+
+from repro import Cluster, TestbedConfig
+from repro.faults import (
+    DAEMON_CRASH,
+    FaultCampaign,
+    FaultEvent,
+    FaultInjector,
+    LANAI_STALL,
+    LINK_DOWN,
+    LINK_ERROR_BURST,
+    SWITCH_PORT_DOWN,
+)
+from repro.hw.myrinet.link import LinkParams, _seed_from_name
+
+
+def small_cluster(**overrides):
+    return Cluster.build(TestbedConfig(nnodes=2, memory_mb=8, **overrides))
+
+
+# ----------------------------------------------------------- FaultEvent
+def test_fault_event_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultEvent(at_ns=0, kind="gamma_ray", target="node0")
+
+
+def test_fault_event_rejects_negative_times():
+    with pytest.raises(ValueError, match="negative time"):
+        FaultEvent(at_ns=-1, kind=LINK_DOWN, target="node0->sw0")
+    with pytest.raises(ValueError, match="negative fault duration"):
+        FaultEvent(at_ns=0, kind=LINK_DOWN, target="node0->sw0",
+                   duration_ns=-5)
+
+
+def test_fault_event_kind_specific_requirements():
+    with pytest.raises(ValueError, match="requires a duration"):
+        FaultEvent(at_ns=0, kind=LANAI_STALL, target="node0")
+    with pytest.raises(ValueError, match=r"params\['rate'\]"):
+        FaultEvent(at_ns=0, kind=LINK_ERROR_BURST, target="node0->sw0")
+
+
+def test_campaign_sorts_events_and_computes_horizon():
+    late = FaultEvent(at_ns=900, kind=LINK_DOWN, target="a", duration_ns=50)
+    early = FaultEvent(at_ns=100, kind=DAEMON_CRASH, target="node0",
+                       duration_ns=2000)
+    campaign = FaultCampaign.of("c", [late, early])
+    assert [e.at_ns for e in campaign] == [100, 900]
+    assert len(campaign) == 2
+    assert campaign.horizon_ns == 2100  # crash raised at 100, cleared 2100
+
+
+def test_random_link_bursts_deterministic_per_seed():
+    links = ["node0->sw0", "sw0->node1", "node1->sw0"]
+    a = FaultCampaign.random_link_bursts(links, seed=42)
+    b = FaultCampaign.random_link_bursts(links, seed=42)
+    c = FaultCampaign.random_link_bursts(links, seed=43)
+    assert a.events == b.events
+    assert a.events != c.events
+    for event in a:
+        assert event.kind == LINK_ERROR_BURST
+        assert event.target in links
+        assert 0 < event.params["rate"] <= 1
+
+
+def test_random_link_bursts_requires_links():
+    with pytest.raises(ValueError, match="no links"):
+        FaultCampaign.random_link_bursts([], seed=1)
+
+
+# --------------------------------------------------- hardware fault hooks
+def test_link_rng_fallback_seeds_differ_per_name():
+    # Regression: independently-built links used to share default_rng(0)
+    # and draw identical error sequences.
+    assert _seed_from_name("node0->sw0") != _seed_from_name("sw0->node1")
+    cluster = small_cluster(link=LinkParams(error_rate=0.5))
+    links = cluster.fabric.links
+    seeds = {_seed_from_name(l.name) for l in links}
+    assert len(seeds) == len(links)
+
+
+def test_link_down_loses_packets_silently():
+    cluster = small_cluster()
+    env = cluster.env
+    _, tx = cluster.nodes[0].attach_process("s")
+    _, rx = cluster.nodes[1].attach_process("r")
+    inbox = rx.alloc_buffer(4096)
+    inbox.fill(0)
+    src = tx.alloc_buffer(4096)
+    src.fill(0xAB)
+    link = cluster.fabric.find_link("node0->sw0")
+
+    def app():
+        yield rx.export(inbox, "inbox")
+        imported = yield tx.import_buffer("node1", "inbox")
+        link.set_down()
+        yield tx.send(src, imported, 1024)
+
+    env.run(until=env.process(app()))
+    env.run(until=env.now + 2_000_000)
+    assert not link.is_up
+    assert link.packets_lost_down >= 1
+    assert bytes(inbox.read(0, 1024)) == b"\x00" * 1024
+    link.set_up()
+    assert link.is_up
+
+
+def test_find_link_unknown_name_raises():
+    cluster = small_cluster()
+    with pytest.raises(KeyError, match="no link named"):
+        cluster.fabric.find_link("node9->sw9")
+
+
+def test_switch_port_down_drops_routed_packets():
+    cluster = small_cluster()
+    env = cluster.env
+    _, tx = cluster.nodes[0].attach_process("s")
+    _, rx = cluster.nodes[1].attach_process("r")
+    inbox = rx.alloc_buffer(4096)
+    inbox.fill(0)
+    src = tx.alloc_buffer(4096)
+    src.fill(0xCD)
+    sw = cluster.fabric.switches["sw0"]
+    # node1 hangs off the port the route selects; find it from the route.
+    out_port = cluster.fabric.compute_route("node0", "node1")[0]
+
+    def app():
+        yield rx.export(inbox, "inbox")
+        imported = yield tx.import_buffer("node1", "inbox")
+        sw.set_port_down(out_port)
+        assert not sw.port_is_up(out_port)
+        yield tx.send(src, imported, 512)
+
+    env.run(until=env.process(app()))
+    env.run(until=env.now + 2_000_000)
+    assert sw.port_down_drops >= 1
+    assert bytes(inbox.read(0, 512)) == b"\x00" * 512
+    sw.set_port_up(out_port)
+    assert sw.port_is_up(out_port)
+
+
+def test_lanai_stall_delays_processing():
+    cluster = small_cluster()
+    env = cluster.env
+    proc = cluster.nodes[0].nic.processor
+    before = env.now
+    proc.stall(25_000)
+
+    def firmware_step():
+        yield proc.cycles(10)
+
+    env.run(until=env.process(firmware_step()))
+    assert env.now - before >= 25_000
+    assert proc.stall_ns_served >= 25_000
+
+
+def test_daemon_crash_drops_requests_then_recovers():
+    cluster = small_cluster()
+    env = cluster.env
+    _, tx = cluster.nodes[0].attach_process("s")
+    _, rx = cluster.nodes[1].attach_process("r")
+    daemon = cluster.nodes[1].daemon
+    inbox = rx.alloc_buffer(4096)
+
+    def app():
+        yield rx.export(inbox, "inbox")
+        daemon.crash()
+        assert daemon.crashed
+        # Give the import request time to be eaten by the dead daemon.
+        yield env.timeout(1_000_000)
+        daemon.restart()
+        imported = yield tx.import_buffer("node1", "inbox")
+        assert imported.nbytes == 4096
+
+    env.run(until=env.process(app()))
+    assert daemon.crashes == 1
+    assert not daemon.crashed
+
+
+# ------------------------------------------------------------- injector
+def test_injector_drives_burst_and_clears_it():
+    cluster = small_cluster()
+    env = cluster.env
+    link = cluster.fabric.find_link("node0->sw0")
+    campaign = FaultCampaign.of("one_burst", [
+        FaultEvent(at_ns=1_000, kind=LINK_ERROR_BURST, target="node0->sw0",
+                   duration_ns=5_000, params={"rate": 0.9}),
+    ])
+    injector = FaultInjector(cluster)
+    done = injector.run(campaign)
+    env.run(until=env.now + 2_000)
+    assert link.effective_error_rate == pytest.approx(0.9)
+    env.run(until=done)
+    assert link.effective_error_rate == 0.0
+    stats = injector.stats
+    assert stats.faults_raised == 1
+    assert stats.faults_cleared == 1
+    assert stats.by_kind == {LINK_ERROR_BURST: 1}
+    assert stats.fault_ns_by_target["node0->sw0"] == 5_000
+
+
+def test_injector_permanent_fault_never_cleared():
+    cluster = small_cluster()
+    env = cluster.env
+    campaign = FaultCampaign.of("cable_cut", [
+        FaultEvent(at_ns=500, kind=LINK_DOWN, target="sw0->node1"),
+    ])
+    done = FaultInjector(cluster).run(campaign)
+    env.run(until=done)
+    link = cluster.fabric.find_link("sw0->node1")
+    assert not link.is_up  # stays down forever
+
+
+def test_injector_mixed_campaign_stats_are_deterministic():
+    def run_once():
+        cluster = small_cluster()
+        campaign = FaultCampaign.of("mixed", [
+            FaultEvent(at_ns=1_000, kind=LINK_ERROR_BURST,
+                       target="node0->sw0", duration_ns=3_000,
+                       params={"rate": 0.5}),
+            FaultEvent(at_ns=2_000, kind=SWITCH_PORT_DOWN, target="sw0:0",
+                       duration_ns=4_000),
+            FaultEvent(at_ns=2_500, kind=LANAI_STALL, target="node1",
+                       duration_ns=1_000),
+            FaultEvent(at_ns=3_000, kind=DAEMON_CRASH, target="node0",
+                       duration_ns=2_000),
+        ], seed=11)
+        injector = FaultInjector(cluster)
+        done = injector.run(campaign)
+        cluster.env.run(until=done)
+        return injector.stats.as_dict()
+
+    first, second = run_once(), run_once()
+    assert first == second
+    assert first["faults_raised"] == 4
+    assert first["faults_cleared"] == 4  # stall self-clears at expiry
+
+
+# -------------------------------------- CRC-drop path (satellite test)
+def test_crc_error_detected_counted_dropped_never_recovered():
+    """error_rate=1.0: every packet is corrupted on the wire.  The LCP
+    must detect the bad CRC, bump its counter, drop the packet, and leave
+    the receiver's memory untouched — and nobody retransmits."""
+    cluster = small_cluster(link=LinkParams(error_rate=1.0))
+    env = cluster.env
+    _, tx = cluster.nodes[0].attach_process("s")
+    _, rx = cluster.nodes[1].attach_process("r")
+    inbox = rx.alloc_buffer(4096)
+    inbox.fill(0)
+    src = tx.alloc_buffer(4096)
+    src.fill(0x5A)
+
+    def app():
+        yield rx.export(inbox, "inbox")
+        imported = yield tx.import_buffer("node1", "inbox")
+        yield tx.send(src, imported, 1024)
+
+    env.run(until=env.process(app()))
+    env.run(until=env.now + 2_000_000)
+    lossy_links = [l for l in cluster.fabric.links if l.errors_injected]
+    assert lossy_links, "no link corrupted anything at error_rate=1.0"
+    assert cluster.nodes[1].lcp.crc_drops >= 1
+    # Dropped means dropped: the receive buffer never changed.
+    assert bytes(inbox.read(0, 1024)) == b"\x00" * 1024
