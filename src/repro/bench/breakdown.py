@@ -1,19 +1,17 @@
 """Latency breakdown: decompose one send into the section-5.2 stages.
 
 The paper's hardware-limit analysis adds up per-stage costs (post, LANai
-pickup/packet/DMA, wire, receive DMA).  This module reproduces that
-accounting *from traces of an actual simulated send* rather than from the
-cost constants, so it doubles as a consistency check: the stages must sum
-to the end-to-end latency the microbenchmark measures.
+pickup/packet/DMA, wire, receive DMA).  The measurement itself lives in
+:mod:`repro.obs.breakdown` (the observability layer owns trace-derived
+reports); this module keeps the original µs-level dataclass as a stable
+benchmark-facing view, so callers that predate ``repro.obs`` keep working.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim import Tracer
-from repro.bench.microbench import VmmcPair, _stamp, spin_until_stamp
-from repro.cluster import TestbedConfig
+from repro.obs.breakdown import measure_stage_breakdown
 
 
 @dataclass(frozen=True)
@@ -41,46 +39,13 @@ class LatencyBreakdown:
 
 def measure_breakdown(size: int = 4) -> LatencyBreakdown:
     """Run one traced short send on a fresh pair and decompose it."""
-    keep = ("vmmc.send.posted", "node0.lcp.send.pickup", "node0.pci.dma",
-            "lanai.netsend", "lanai.netrecv", "node1.pci.dma",
-            "node1.hostdma.write_host", "node1.lcp")
-
-    def keeper(category: str) -> bool:
-        return any(category.startswith(k) for k in keep)
-
-    pair = VmmcPair(TestbedConfig(nnodes=2, memory_mb=8),
-                    buffer_bytes=16 * 1024)
-    env = pair.env
-    tracer = Tracer(keep=keeper)
-    env.tracer = tracer
-    marks = {}
-
-    def app():
-        _stamp(pair.src_a, size, 1)
-        marks["call"] = env.now
-        yield pair.ep_a.send(pair.src_a, pair.to_b, size)
-        yield spin_until_stamp(pair.ep_b, pair.inbox_b, size, 1)
-        marks["observed"] = env.now
-
-    env.run(until=env.process(app()))
-
-    def first(category: str, after: int = 0) -> int:
-        for record in tracer:
-            if record.category.startswith(category) and record.time >= after:
-                return record.time
-        raise LookupError(f"no trace {category!r} after {after}")
-
-    posted = first("vmmc.send.posted")
-    pickup = first("node0.lcp.send.pickup")
-    injected = first("lanai.netsend", after=pickup)
-    arrived = first("lanai.netrecv", after=injected)
-    delivered = first("node1.hostdma.write_host", after=arrived)
-
+    report = measure_stage_breakdown(size)
+    durations = [ns / 1000.0 for _, ns in report.stages]
     return LatencyBreakdown(
-        post_us=(posted - marks["call"]) / 1000,
-        lanai_send_us=(injected - posted) / 1000,
-        wire_us=(arrived - injected) / 1000,
-        lanai_recv_us=(delivered - arrived) / 1000,
-        deliver_us=(marks["observed"] - delivered) / 1000,
-        total_us=(marks["observed"] - marks["call"]) / 1000,
+        post_us=durations[0],
+        lanai_send_us=durations[1],
+        wire_us=durations[2],
+        lanai_recv_us=durations[3],
+        deliver_us=durations[4],
+        total_us=report.total_ns / 1000.0,
     )

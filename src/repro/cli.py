@@ -14,6 +14,11 @@ vrpc         section 5.4 — vRPC vs SunRPC/UDP
 sram         NIC SRAM accounting of a booted node
 chaos        extension — lossy-link sweep + fault campaign: baseline
              VMMC vs the reliable-delivery layer
+metrics      observability — metrics snapshot of the instrumented
+             contract workload (``--json`` for machine consumption)
+trace        observability — Perfetto / Chrome trace-event export of the
+             contract workload (``--check-docs`` diffs emitted trace
+             categories against docs/TRACING.md)
 ===========  ===========================================================
 """
 
@@ -124,6 +129,11 @@ def cmd_vrpc(args) -> int:
 
 
 def cmd_breakdown(args) -> int:
+    if args.json:
+        from repro.obs.breakdown import measure_stage_breakdown
+
+        print(measure_stage_breakdown(args.size).to_json())
+        return 0
     from repro.bench.breakdown import measure_breakdown
 
     b = measure_breakdown(args.size)
@@ -182,6 +192,48 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs import run_contract_workload
+
+    _, registry = run_contract_workload()
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            "Metrics of the instrumented contract workload "
+            "(docs/TRACING.md 'Metrics reference')",
+            ["metric", "value"], registry.rows()))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        export_chrome_trace,
+        run_contract_workload,
+        undocumented,
+    )
+
+    tracer, _ = run_contract_workload()
+    document = export_chrome_trace(tracer, path=args.perfetto)
+    where = args.perfetto if args.perfetto else "(not written; no --perfetto)"
+    print(f"{len(document['traceEvents'])} trace events from "
+          f"{document['otherData']['records']} records "
+          f"({document['otherData']['dropped']} dropped) -> {where}")
+    if args.check_docs:
+        stray = undocumented(r.category for r in tracer.records)
+        if stray:
+            print("undocumented trace categories (document them in "
+                  "docs/TRACING.md):", file=sys.stderr)
+            for category in stray:
+                print(f"  {category}", file=sys.stderr)
+            return 1
+        print("all emitted trace categories are documented in "
+              "docs/TRACING.md")
+    return 0
+
+
 def _rates(text: str) -> list[float]:
     return [float(s) for s in text.split(",") if s]
 
@@ -224,6 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
     brk = sub.add_parser("breakdown",
                          help="section 5.2 per-stage latency accounting")
     brk.add_argument("--size", type=int, default=4)
+    brk.add_argument("--json", action="store_true",
+                     help="machine-readable stage breakdown")
     brk.set_defaults(func=cmd_breakdown)
 
     sram = sub.add_parser("sram", help="NIC SRAM accounting")
@@ -239,6 +293,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--size", type=int, default=1024)
     chaos.add_argument("--seed", type=int, default=7)
     chaos.set_defaults(func=cmd_chaos)
+
+    met = sub.add_parser(
+        "metrics", help="metrics snapshot of the instrumented workload")
+    met.add_argument("--json", action="store_true",
+                     help="JSON snapshot instead of a table")
+    met.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="Perfetto / Chrome trace-event export")
+    trace.add_argument("--perfetto", metavar="OUT",
+                       help="write Chrome trace-event JSON to this file")
+    trace.add_argument("--check-docs", action="store_true",
+                       help="fail if an emitted trace category is missing "
+                            "from docs/TRACING.md")
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.sim import Environment, Process
 from repro.sim.trace import emit
+from repro.obs.metrics import count, observe
 from repro.faults.campaign import (
     DAEMON_CRASH,
     FaultCampaign,
@@ -95,6 +96,7 @@ class FaultInjector:
             raised_at = self.env.now
             self._apply(event)
             stats.record_raise(event, raised_at)
+            count(self.env, "faults.raised", kind=event.kind)
             emit(self.env, f"fault.{event.kind}.raise",
                  target=event.target, duration_ns=event.duration_ns,
                  **event.params)
@@ -103,6 +105,9 @@ class FaultInjector:
             yield self.env.timeout(event.duration_ns)
             self._clear(event)
             stats.record_clear(event, raised_at, self.env.now)
+            count(self.env, "faults.cleared", kind=event.kind)
+            observe(self.env, "faults.duration_ns",
+                    self.env.now - raised_at, kind=event.kind)
             emit(self.env, f"fault.{event.kind}.clear", target=event.target)
 
         def drive_all():

@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.sim import Environment, Resource, Store
 from repro.sim.trace import emit
+from repro.obs.metrics import count
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,8 @@ class EthernetNetwork:
                 yield req
                 yield self.env.timeout(self.params.wire_time_ns(nbytes))
             self.datagrams_carried += 1
+            count(self.env, "ether.frames")
+            count(self.env, "ether.bytes", nbytes)
             emit(self.env, "ether.tx", src=src, dst=dst, nbytes=nbytes)
             self.env.process(self._deliver(src, dst, payload),
                              name="ether.deliver")

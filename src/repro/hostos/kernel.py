@@ -14,6 +14,7 @@ from typing import Any, Callable
 
 from repro.sim import Environment
 from repro.sim.trace import emit
+from repro.obs.metrics import count
 from repro.mem.virtual import AddressSpace
 from repro.hostos.process import UserProcess
 
@@ -58,6 +59,7 @@ class Kernel:
         def run():
             yield self.env.timeout(self.params.irq_entry_ns)
             self.interrupts_serviced += 1
+            count(self.env, "kernel.interrupts", kernel=self.name)
             emit(self.env, f"{self.name}.irq.enter")
             result = isr()
             if hasattr(result, "__next__"):
@@ -128,6 +130,7 @@ class Kernel:
         def run():
             yield self.env.timeout(self.params.signal_delivery_ns)
             self.signals_delivered += 1
+            count(self.env, "kernel.signals", kernel=self.name)
             process.signals_received.append((signo, payload))
             handler = process.signal_handler(signo)
             emit(self.env, f"{self.name}.signal", signo=signo,

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.sim import Environment, Resource
 from repro.sim.trace import emit
+from repro.obs.metrics import count, observe, set_gauge
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,8 @@ class PCIBus:
             with self._arbiter.request() as req:
                 yield req
                 emit(self.env, f"{self.name}.pio.{kind}", words=words)
+                count(self.env, "bus.pio.words", words,
+                      bus=self.name, kind=kind)
                 yield self.env.timeout(cost_ns * words)
 
         return self.env.process(run(), name=f"{self.name}.pio.{kind}")
@@ -106,10 +109,16 @@ class PCIBus:
         duration = self.params.dma_time_ns(nbytes)
 
         def run():
+            set_gauge(self.env, "bus.dma.queue_depth",
+                      self._arbiter.queue_length, bus=self.name)
             with self._arbiter.request(priority=priority) as req:
                 yield req
                 emit(self.env, f"{self.name}.dma", nbytes=nbytes,
                      duration=duration)
+                count(self.env, "bus.dma.transactions", bus=self.name)
+                count(self.env, "bus.dma.bytes", nbytes, bus=self.name)
+                observe(self.env, "bus.dma.duration_ns", duration,
+                        bus=self.name)
                 yield self.env.timeout(duration)
 
         return self.env.process(run(), name=f"{self.name}.dma")

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.sim import Environment, Resource, Store
 from repro.sim.trace import emit
+from repro.obs.metrics import count, set_gauge
 from repro.mem.physical import PhysicalMemory
 from repro.hw.bus.pci import PCIBus
 from repro.hw.lanai.sram import SRAM
@@ -51,12 +52,16 @@ class HostDMAEngine:
     def to_sram(self, paddr: int, sram_addr: int, nbytes: int):
         """Process: DMA ``nbytes`` host→SRAM; fires when data is in SRAM."""
         def run():
+            set_gauge(self.env, "hostdma.queue_depth",
+                      self._engine.queue_length, nic=self.name)
             with self._engine.request() as req:
                 yield req
                 yield self.bus.dma(nbytes)
                 self.sram.view(sram_addr, nbytes)[:] = \
                     self.host_memory.view(paddr, nbytes)
                 self.bytes_to_sram += nbytes
+                count(self.env, "hostdma.bytes", nbytes,
+                      nic=self.name, dir="to_sram")
                 emit(self.env, f"{self.name}.hostdma.to_sram",
                      paddr=paddr, nbytes=nbytes)
 
@@ -72,6 +77,8 @@ class HostDMAEngine:
                     self.sram.view(sram_addr, nbytes)
                 self.host_memory.notify_write(paddr, nbytes)
                 self.bytes_to_host += nbytes
+                count(self.env, "hostdma.bytes", nbytes,
+                      nic=self.name, dir="to_host")
                 emit(self.env, f"{self.name}.hostdma.to_host",
                      paddr=paddr, nbytes=nbytes)
 
@@ -83,12 +90,16 @@ class HostDMAEngine:
         payload = np.asarray(data, dtype=np.uint8)
 
         def run():
+            set_gauge(self.env, "hostdma.queue_depth",
+                      self._engine.queue_length, nic=self.name)
             with self._engine.request() as req:
                 yield req
                 yield self.bus.dma(int(payload.size))
                 self.host_memory.view(paddr, int(payload.size))[:] = payload
                 self.host_memory.notify_write(paddr, int(payload.size))
                 self.bytes_to_host += int(payload.size)
+                count(self.env, "hostdma.bytes", int(payload.size),
+                      nic=self.name, dir="to_host")
                 emit(self.env, f"{self.name}.hostdma.write_host",
                      paddr=paddr, nbytes=int(payload.size))
 
@@ -156,7 +167,8 @@ class NetSendEngine:
                 packet.seal()
                 yield self.network.inject(self.host_name, packet)
                 self.packets_sent += 1
-                emit(self.env, "lanai.netsend",
+                count(self.env, "net.packets", nic=self.host_name, dir="tx")
+                emit(self.env, "lanai.netsend", nic=self.host_name,
                      nbytes=packet.payload_bytes)
 
         return self.env.process(run(), name="netsend")
@@ -175,6 +187,7 @@ class NetRecvEngine:
                  staging_region_name: str = "recv_staging"):
         self.env = env
         self.sram = sram
+        self.host_name = host_name
         self.inbox: Store = Store(env)
         self.packets_received = 0
         self.crc_errors = 0
@@ -186,8 +199,11 @@ class NetRecvEngine:
         ok = packet.crc_ok()
         if not ok:
             self.crc_errors += 1
+            count(self.env, "net.crc_errors", nic=self.host_name)
         self.packets_received += 1
-        emit(self.env, "lanai.netrecv", nbytes=packet.payload_bytes, ok=ok)
+        count(self.env, "net.packets", nic=self.host_name, dir="rx")
+        emit(self.env, "lanai.netrecv", nic=self.host_name,
+             nbytes=packet.payload_bytes, ok=ok)
         packet.meta["crc_ok"] = ok
         self.inbox.put(packet)
         if self.on_arrival is not None:

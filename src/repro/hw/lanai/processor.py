@@ -15,6 +15,7 @@ hence DMA engines do not contend with :meth:`cycles` time.
 from __future__ import annotations
 
 from repro.sim import Environment
+from repro.obs.metrics import count
 
 #: 33 MHz → one cycle ≈ 30 ns.
 CYCLE_NS = 30
@@ -42,6 +43,8 @@ class LANaiProcessor:
         """
         if duration_ns < 0:
             raise ValueError("negative stall duration")
+        count(self.env, "lanai.stalls")
+        count(self.env, "lanai.stall_ns", duration_ns)
         self._stall_until = max(self._stall_until,
                                 self.env.now + duration_ns)
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.sim import Environment, Resource
 from repro.sim.trace import emit
+from repro.obs.metrics import count
 from repro.hw.myrinet.packet import MyrinetPacket
 
 
@@ -140,8 +141,13 @@ class Link:
                 if error_rate > 0 and self._rng.random() < error_rate:
                     packet.corrupt(bit=int(self._rng.integers(0, 1 << 16)))
                     self.errors_injected += 1
+                    count(self.env, "link.errors_injected", link=self.name)
                 self.packets_carried += 1
                 self.bytes_carried += packet.wire_bytes
+                count(self.env, "link.packets", link=self.name)
+                count(self.env, "link.bytes", packet.wire_bytes,
+                      link=self.name)
+                count(self.env, "link.busy_ns", wire_time, link=self.name)
                 yield self.env.timeout(wire_time)
             # Tail has left this end; head+latency delivery downstream.
             self.env.process(self._deliver(packet),
@@ -155,6 +161,7 @@ class Link:
             # Dead cable: the worm never reaches the far end.  Nobody is
             # notified — Myrinet hardware gives the sender no feedback.
             self.packets_lost_down += 1
+            count(self.env, "link.lost_down", link=self.name)
             emit(self.env, f"{self.name}.lost_down",
                  bytes=packet.wire_bytes)
             return

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.sim import Environment, Resource
 from repro.sim.trace import emit
+from repro.obs.metrics import count
 from repro.hw.myrinet.link import Link
 from repro.hw.myrinet.packet import MyrinetPacket
 
@@ -67,18 +68,23 @@ class Switch:
             # Route byte names an unconnected port: the worm is dropped by
             # the hardware (this is what the mapping phase repairs).
             self.drops += 1
+            count(self.env, "switch.drops", switch=self.name,
+                  reason="unconnected")
             emit(self.env, f"{self.name}.drop", port=port)
             return
         if port in self._down_ports:
             # Faulted output port: the crossbar sinks the worm silently.
             self.drops += 1
             self.port_down_drops += 1
+            count(self.env, "switch.drops", switch=self.name,
+                  reason="port_down")
             emit(self.env, f"{self.name}.drop_port_down", port=port)
             return
         with self._out_ports[port].request() as req:
             yield req
             yield self.env.timeout(self.latency_ns)
             self.packets_forwarded += 1
+            count(self.env, "switch.forwarded", switch=self.name)
             emit(self.env, f"{self.name}.forward", port=port,
                  bytes=packet.wire_bytes)
             yield link.transmit(packet)

@@ -1,0 +1,162 @@
+"""The trace-category contract: canonical names, and the docs-vs-code diff.
+
+Trace points are emitted with *instance* prefixes (``node0.lcp.send.pickup``,
+``node0->sw0.tx``, ``daemon.node1.crash``) so a single trace distinguishes
+the two LCPs of a ping.  The *contract* — what docs/TRACING.md documents and
+what downstream tooling may rely on — is the **canonical** category, with
+the instance stripped:
+
+==============================  =================================
+emitted                         canonical
+==============================  =================================
+``node0.lcp.send.pickup``       ``lcp.send.pickup``
+``node0.pci.dma``               ``pci.dma``
+``node0.hostdma.write_host``    ``hostdma.write_host``
+``node0->sw0.tx``               ``link.tx``
+``sw0.forward``                 ``switch.forward``
+``daemon.node1.crash``          ``daemon.crash``
+``fault.link_down.raise``       ``fault.<kind>.raise``  (doc pattern)
+==============================  =================================
+
+:func:`canonical_category` performs the stripping;
+:func:`documented_categories` parses the reference tables out of
+docs/TRACING.md; :func:`undocumented` diffs a tracer's output against them.
+The unit tests and the CI gate both run through this module, so the
+documentation cannot rot without breaking the build.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Iterable, Optional
+
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "canonical_category",
+    "documented_categories",
+    "documented_metrics",
+    "matches_pattern",
+    "undocumented",
+    "tracing_doc_path",
+]
+
+#: ``node<N>.`` instance prefix (one simulated host).
+_NODE_PREFIX = re.compile(r"^node\d+\.")
+#: ``daemon.node<N>.`` — the VMMC daemon's Ethernet address prefix.
+_DAEMON_INSTANCE = re.compile(r"^daemon\.node\d+\.")
+#: A switch instance name (``sw0``, ``sw1`` ...).
+_SWITCH = re.compile(r"^sw\d+$")
+
+
+def canonical_category(category: str) -> str:
+    """Map an emitted (instance-prefixed) category to its canonical form."""
+    head = category.split(".", 1)[0]
+    if "->" in head:
+        # Link instance names are `src->dst` (never contain a dot).
+        return "link" + category[len(head):]
+    if _SWITCH.match(head):
+        return "switch" + category[len(head):]
+    if _DAEMON_INSTANCE.match(category):
+        return _DAEMON_INSTANCE.sub("daemon.", category)
+    return _NODE_PREFIX.sub("", category)
+
+
+def node_of(category: str) -> Optional[str]:
+    """The node instance an emitted category belongs to, if identifiable."""
+    match = re.match(r"^(node\d+)\.", category)
+    if match:
+        return match.group(1)
+    match = re.match(r"^daemon\.(node\d+)\.", category)
+    if match:
+        return match.group(1)
+    return None
+
+
+def matches_pattern(pattern: str, category: str) -> bool:
+    """True if a canonical ``category`` matches a documented ``pattern``.
+
+    Patterns are dot-paths whose segments are either literals or
+    ``<wildcard>`` placeholders matching exactly one segment
+    (``fault.<kind>.raise`` matches ``fault.link_down.raise``).
+    """
+    pseg = pattern.split(".")
+    cseg = category.split(".")
+    if len(pseg) != len(cseg):
+        return False
+    return all(p == c or (p.startswith("<") and p.endswith(">"))
+               for p, c in zip(pseg, cseg))
+
+
+def tracing_doc_path() -> pathlib.Path:
+    """Location of docs/TRACING.md relative to the installed package."""
+    return (pathlib.Path(__file__).resolve().parents[3]
+            / "docs" / "TRACING.md")
+
+
+_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|\s*([^|]*)\|")
+
+
+def _parse_tables(text: str) -> dict[str, dict[str, str]]:
+    """First-column backticked entries of every reference table, grouped by
+    the nearest ``## `` heading; value is the second column (stripped)."""
+    sections: dict[str, dict[str, str]] = {}
+    current = ""
+    for line in text.splitlines():
+        if line.startswith("## "):
+            current = line[3:].strip()
+            continue
+        match = _ROW.match(line)
+        if match:
+            sections.setdefault(current, {})[match.group(1)] = \
+                match.group(2).strip()
+    return sections
+
+
+def documented_categories(path: pathlib.Path | None = None
+                          ) -> dict[str, str]:
+    """Category pattern → coverage class (``e2e`` or ``rare``) from the
+    "Trace category reference" tables of docs/TRACING.md."""
+    text = (path or tracing_doc_path()).read_text()
+    out: dict[str, str] = {}
+    for heading, rows in _parse_tables(text).items():
+        if heading.startswith("Trace category reference"):
+            out.update(rows)
+    if not out:
+        raise ValueError("no category tables found in docs/TRACING.md")
+    return out
+
+
+def documented_metrics(path: pathlib.Path | None = None) -> set[str]:
+    """Base metric names from the "Metrics reference" table."""
+    text = (path or tracing_doc_path()).read_text()
+    names: set[str] = set()
+    for heading, rows in _parse_tables(text).items():
+        if heading.startswith("Metrics reference"):
+            for entry in rows:
+                names.add(entry.split("{", 1)[0])
+    if not names:
+        raise ValueError("no metrics table found in docs/TRACING.md")
+    return names
+
+
+def undocumented(categories: Iterable[str],
+                 patterns: Iterable[str] | None = None) -> list[str]:
+    """Emitted categories (canonicalised) with no documented pattern.
+
+    ``categories`` are raw emitted categories (or a :class:`Tracer`);
+    returns the sorted canonical categories that match nothing in
+    docs/TRACING.md — the CI gate fails when this is non-empty.
+    """
+    if isinstance(categories, Tracer):
+        categories = categories.categories()
+    if patterns is None:
+        patterns = documented_categories()
+    patterns = list(patterns)
+    missing = set()
+    for category in categories:
+        canonical = canonical_category(category)
+        if not any(matches_pattern(p, canonical) for p in patterns):
+            missing.add(canonical)
+    return sorted(missing)

@@ -1,0 +1,262 @@
+"""Metrics registry: counters, gauges and histograms for the simulator.
+
+The registry is the quantitative half of the observability layer (the
+qualitative half is :mod:`repro.sim.trace`).  Hardware and protocol modules
+record into it through the module-level helpers :func:`count`,
+:func:`set_gauge` and :func:`observe`, which — exactly like
+:func:`repro.sim.trace.emit` — are no-ops when the environment carries no
+registry, so uninstrumented runs pay one attribute lookup per call site.
+
+Design points:
+
+* **Labels.**  A metric is identified by a base name plus a sorted label
+  set (``link.bytes{link=node0->sw0}``), so per-instance detail (per link,
+  per LCP, per channel) never requires inventing new metric names.
+* **Determinism.**  Snapshots are plain sorted dicts of ints/floats; the
+  simulator is deterministic, so two runs with the same seed produce
+  *identical* snapshots — asserted by the test suite and usable as a
+  regression oracle.
+* **Histograms** keep every observation (simulated runs are small) and
+  report exact rank-interpolated quantiles, giving the latency p50/p90/p99
+  the ROADMAP's congestion-backoff tuning needs.
+
+Usage::
+
+    registry = MetricsRegistry().install(env)   # env.metrics = registry
+    ... run the simulation ...
+    snap = registry.snapshot()
+    snap["link.bytes{link=node0->sw0}"]          # -> int
+    snap["vmmc.send.sync_ns{node=node0}"]["p90"]  # -> float
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "count",
+    "set_gauge",
+    "observe",
+    "registry_of",
+]
+
+#: Quantiles reported in histogram snapshots.
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """A monotonically increasing integer/float total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value; the high-water mark is tracked alongside."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self.max_value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def snapshot(self) -> dict[str, float]:
+        return {"value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """All observed samples, with exact interpolated quantiles.
+
+    Simulated runs produce at most a few thousand observations per metric,
+    so keeping the raw samples is cheap and makes the quantiles exact and
+    deterministic (no probabilistic sketches).
+    """
+
+    __slots__ = ("_values", "_sorted")
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self._values)
+
+    def _ensure_sorted(self) -> list[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def quantile(self, q: float) -> float:
+        """Rank-interpolated quantile of the observed samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        values = self._ensure_sorted()
+        if not values:
+            raise ValueError("quantile of an empty histogram")
+        pos = q * (len(values) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(values) - 1)
+        frac = pos - lo
+        return values[lo] * (1 - frac) + values[hi] * frac
+
+    def snapshot(self) -> dict[str, float]:
+        if not self._values:
+            return {"count": 0, "sum": 0}
+        values = self._ensure_sorted()
+        snap: dict[str, float] = {
+            "count": len(values),
+            "sum": sum(values),
+            "min": values[0],
+            "max": values[-1],
+        }
+        for q in SNAPSHOT_QUANTILES:
+            snap[f"p{int(q * 100)}"] = self.quantile(q)
+        return snap
+
+
+def _key(name: str, labels: dict[str, Any]) -> tuple[str, tuple]:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render(name: str, labels: tuple) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Holds every metric of one simulated run.
+
+    One registry per :class:`~repro.sim.core.Environment`; install it with
+    :meth:`install` and every instrumented module starts recording.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple], Any] = {}
+        self._kinds: dict[str, type] = {}
+
+    # -- metric factories -----------------------------------------------------
+    def _get(self, cls: type, name: str, labels: dict[str, Any]):
+        seen = self._kinds.setdefault(name, cls)
+        if seen is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{seen.__name__}, cannot reuse it as {cls.__name__}")
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- wiring ---------------------------------------------------------------
+    def install(self, env: Any) -> "MetricsRegistry":
+        """Attach this registry to an environment (``env.metrics``)."""
+        env.metrics = self
+        return self
+
+    # -- introspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        """Sorted base metric names (label sets collapsed)."""
+        return sorted({name for name, _ in self._metrics})
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat, deterministic view: ``name{labels}`` → value/dict.
+
+        Counters render as numbers, gauges as ``{value, max}`` dicts,
+        histograms as ``{count, sum, min, max, p50, p90, p99}`` dicts.
+        Keys are sorted, so two identically seeded runs produce *equal*
+        snapshots (`==` on the dicts).
+        """
+        out: dict[str, Any] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            out[_render(name, labels)] = metric.snapshot()
+        return out
+
+    def rows(self) -> list[list[Any]]:
+        """Table rows ``[metric, value]`` for the CLI's table renderer."""
+        rows: list[list[Any]] = []
+        for key, value in self.snapshot().items():
+            if isinstance(value, dict):
+                rendered = " ".join(f"{k}={_fmt_num(v)}"
+                                    for k, v in value.items())
+            else:
+                rendered = _fmt_num(value)
+            rows.append([key, rendered])
+        return rows
+
+
+def _fmt_num(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return str(int(value))
+
+
+# -- emitter-side helpers (no-op without a registry) --------------------------
+def registry_of(env: Any) -> Optional[MetricsRegistry]:
+    """The environment's registry, or None (the common fast case)."""
+    return getattr(env, "metrics", None)
+
+
+def count(env: Any, name: str, n: float = 1, **labels: Any) -> None:
+    """Increment a counter if ``env`` carries a registry."""
+    registry = getattr(env, "metrics", None)
+    if registry is not None:
+        registry.counter(name, **labels).inc(n)
+
+
+def set_gauge(env: Any, name: str, value: float, **labels: Any) -> None:
+    """Set a gauge if ``env`` carries a registry."""
+    registry = getattr(env, "metrics", None)
+    if registry is not None:
+        registry.gauge(name, **labels).set(value)
+
+
+def observe(env: Any, name: str, value: float, **labels: Any) -> None:
+    """Record a histogram sample if ``env`` carries a registry."""
+    registry = getattr(env, "metrics", None)
+    if registry is not None:
+        registry.histogram(name, **labels).observe(value)

@@ -1,0 +1,166 @@
+"""Chrome trace-event / Perfetto JSON export of a simulated run.
+
+Turns the flat :class:`~repro.sim.trace.Tracer` record list into the JSON
+Array Format understood by ``chrome://tracing`` and https://ui.perfetto.dev,
+so a whole simulated cluster run can be opened in a real trace viewer:
+
+* **process (pid)** = one simulated node (``node0``, ``node1``, ...); the
+  shared fabric (links, switches, Ethernet, fault injector, mapping phase)
+  gets its own pid;
+* **thread (tid)** = one component of that node (``lcp``, ``pci``,
+  ``hostdma``, ``kernel``, ``daemon``...) — for the fabric, one tid per
+  link/switch instance;
+* events carrying an explicit duration in their payload (``pci.dma``'s
+  ``duration``, ``link.tx``'s ``wire_time``) become *complete* events
+  (phase ``X``) and render as bars; everything else is a thread-scoped
+  *instant* (phase ``i``);
+* timestamps are microseconds (the format's unit), converted from the
+  simulator's integer nanoseconds with 1 ns resolution preserved
+  (fractional µs).
+
+The exporter is pure: it reads a tracer, returns the document as a dict
+(and optionally writes it), and never touches the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Optional
+
+from repro.sim.trace import Tracer
+from repro.obs.contract import canonical_category, node_of
+
+__all__ = ["export_chrome_trace", "FABRIC_PROCESS"]
+
+#: Display name of the pid that owns fabric-wide events.
+FABRIC_PROCESS = "fabric"
+
+#: payload key holding an explicit event duration (ns), per canonical
+#: category prefix — these become phase-"X" complete events.
+_DURATION_KEYS = {
+    "pci.dma": "duration",
+    "eisa.dma": "duration",
+    "link.tx": "wire_time",
+}
+
+#: payload keys that can carry the owning node when the category itself
+#: has no instance prefix (e.g. ``lanai.netsend`` emitted with ``nic=``).
+_NODE_PAYLOAD_KEYS = ("nic", "node", "host")
+
+
+def _process_of(record) -> str:
+    node = node_of(record.category)
+    if node is not None:
+        return node
+    for key in _NODE_PAYLOAD_KEYS:
+        value = record.payload.get(key)
+        if isinstance(value, str) and value:
+            return value
+    return FABRIC_PROCESS
+
+
+def _thread_of(record, process: str) -> str:
+    head = record.category.split(".", 1)[0]
+    if "->" in head:                       # link instance
+        return head
+    if process == FABRIC_PROCESS:
+        canonical = canonical_category(record.category)
+        root = canonical.split(".", 1)[0]
+        if root == "switch":
+            return head                    # the switch instance name
+        return root                        # ether / fault / mapping / ...
+    return canonical_category(record.category).split(".", 1)[0]
+
+
+def _duration_ns(record) -> Optional[int]:
+    canonical = canonical_category(record.category)
+    for prefix, key in _DURATION_KEYS.items():
+        if canonical.startswith(prefix):
+            value = record.payload.get(key)
+            if isinstance(value, (int, float)):
+                return int(value)
+    return None
+
+
+def _jsonable(value: Any) -> Any:
+    """Chrome's args must be JSON; coerce numpy scalars, tuples etc."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "item"):             # numpy scalar
+        return value.item()
+    return repr(value)
+
+
+def export_chrome_trace(tracer: Tracer,
+                        path: str | pathlib.Path | None = None,
+                        ) -> dict[str, Any]:
+    """Build (and optionally write) the Chrome trace-event document.
+
+    Returns the document as a dict: ``{"traceEvents": [...], ...}``.
+    Events are ordered by timestamp (stable for ties), so the per-thread
+    event streams are monotonically non-decreasing — a property the unit
+    tests assert, since some viewers silently drop out-of-order events.
+    """
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    meta: list[dict[str, Any]] = []
+    events: list[tuple[int, int, dict[str, Any]]] = []
+
+    def pid_of(process: str) -> int:
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            meta.append({
+                "ph": "M", "name": "process_name", "pid": pids[process],
+                "tid": 0, "args": {"name": process},
+            })
+        return pids[process]
+
+    def tid_of(process: str, thread: str) -> int:
+        key = (process, thread)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            meta.append({
+                "ph": "M", "name": "thread_name", "pid": pid_of(process),
+                "tid": tids[key], "args": {"name": thread},
+            })
+        return tids[key]
+
+    for seq, record in enumerate(tracer):
+        process = _process_of(record)
+        pid = pid_of(process)
+        tid = tid_of(process, _thread_of(record, process))
+        event: dict[str, Any] = {
+            "name": canonical_category(record.category),
+            "cat": record.category,
+            "pid": pid,
+            "tid": tid,
+            "ts": record.time / 1000.0,
+            "args": {k: _jsonable(v) for k, v in record.payload.items()},
+        }
+        duration = _duration_ns(record)
+        if duration is not None:
+            event["ph"] = "X"
+            event["dur"] = duration / 1000.0
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append((record.time, seq, event))
+
+    events.sort(key=lambda item: (item[0], item[1]))
+    document = {
+        "traceEvents": meta + [event for _, _, event in events],
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.obs.perfetto",
+            "records": len(tracer),
+            "dropped": tracer.dropped,
+        },
+    }
+    if path is not None:
+        pathlib.Path(path).write_text(json.dumps(document, indent=1))
+    return document

@@ -1,0 +1,117 @@
+"""The instrumented end-to-end *contract workload*.
+
+One deterministic run that drives every subsystem the trace-category
+contract documents as ``e2e``: cluster boot (mapping phase, daemon
+matchmaking over Ethernet), a short send, a cold-TLB long send (host
+interrupt + driver refill), a notified delivery (signal path), a reliable
+channel riding out a total-corruption error burst (CRC drops, timeouts,
+retransmissions), and a hardware-fault sweep (cable down, switch port
+down, LANai stall, daemon crash/restart) with traffic in flight.
+
+The docs-vs-code diff test and the CI gate both run this workload: every
+category it emits must be documented in docs/TRACING.md, and every
+category documented as ``e2e`` must be emitted here — so neither the code
+nor the documentation can drift alone.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment, Tracer
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["run_contract_workload"]
+
+
+def run_contract_workload() -> tuple[Tracer, MetricsRegistry]:
+    """Run the workload; returns its (full) tracer and metrics registry."""
+    # Local imports: this module sits below repro.cluster in the layering.
+    from repro.cluster import Cluster, TestbedConfig
+    from repro.faults import (
+        DAEMON_CRASH,
+        FaultCampaign,
+        FaultEvent,
+        FaultInjector,
+        LANAI_STALL,
+        LINK_DOWN,
+        LINK_ERROR_BURST,
+        SWITCH_PORT_DOWN,
+    )
+    from repro.vmmc.reliable import open_channel
+
+    env = Environment(tracer=Tracer())
+    registry = MetricsRegistry().install(env)
+    cluster = Cluster.build(TestbedConfig(nnodes=2, memory_mb=8), env=env)
+    injector = FaultInjector(cluster)
+    node0, node1 = cluster.nodes[0], cluster.nodes[1]
+    _, ep_a = node0.attach_process("obs_a")
+    _, ep_b = node1.attach_process("obs_b")
+    inbox_b = ep_b.alloc_buffer(32 * 1024)
+    src_a = ep_a.alloc_buffer(32 * 1024)
+    notifications: list[dict] = []
+
+    def on_notify(info):
+        notifications.append(info)
+
+    def app():
+        # -- plain VMMC traffic ------------------------------------------
+        yield ep_b.export(inbox_b, "obs_inbox", notify_handler=on_notify)
+        to_b = yield ep_a.import_buffer("node1", "obs_inbox")
+        # Short send (also raises a notification: the export is notified).
+        yield ep_a.send(src_a, to_b, 4)
+        # Long send with a *cold* software TLB: misses interrupt the host
+        # driver (kernel irq path) and refill through the page tables.
+        yield ep_a.send(src_a, to_b, 12 * 1024)
+        yield env.timeout(300_000)  # drain deliveries + signal handlers
+
+        # -- reliable channel under a total-corruption burst -------------
+        sender, receiver = yield open_channel(ep_a, ep_b, "obs")
+        recv = receiver.recv()
+        yield sender.send(b"clean run")
+        yield recv
+        burst = FaultCampaign.of("obs_burst", [
+            FaultEvent(at_ns=env.now, kind=LINK_ERROR_BURST,
+                       target="node0->sw0", duration_ns=200_000,
+                       params={"rate": 1.0}),
+        ])
+        driving = injector.run(burst)
+        recv = receiver.recv()
+        # First transmission and first retransmission are corrupted and
+        # CRC-dropped; the second retransmission (after the burst clears)
+        # gets through — exercising timeout, backoff and recovery.
+        yield sender.send(b"through the storm")
+        yield recv
+        yield driving
+
+        # -- hardware fault sweep with traffic in flight ------------------
+        t0 = env.now
+        sweep = FaultCampaign.of("obs_sweep", [
+            FaultEvent(at_ns=t0, kind=LINK_DOWN,
+                       target="sw0->node1", duration_ns=150_000),
+            FaultEvent(at_ns=t0 + 200_000, kind=SWITCH_PORT_DOWN,
+                       target="sw0:1", duration_ns=150_000),
+            FaultEvent(at_ns=t0 + 400_000, kind=LANAI_STALL,
+                       target="node0", duration_ns=20_000),
+            FaultEvent(at_ns=t0 + 500_000, kind=DAEMON_CRASH,
+                       target="node1", duration_ns=500_000),
+        ])
+        driving = injector.run(sweep)
+        yield env.timeout(10_000)
+        # Worm truncated on the dead cable (`link.lost_down`): base VMMC
+        # never learns — the short sync send still completes locally.
+        yield ep_a.send(src_a, to_b, 4)
+        yield env.timeout(t0 + 250_000 - env.now)
+        # Worm sunk by the downed crossbar port (`switch.drop_port_down`).
+        yield ep_a.send(src_a, to_b, 4)
+        yield env.timeout(t0 + 550_000 - env.now)
+        # Import request hitting the crashed daemon is dropped on the
+        # floor (`daemon.drop_crashed`); deliberately not awaited — the
+        # reply never comes, which is exactly the failure mode.  (The
+        # Ethernet stack costs ~270 us end-to-end, so the crash window
+        # must still be open when the datagram lands.)
+        ep_a.import_buffer("node1", "obs_missing")
+        yield driving
+        yield env.timeout(100_000)
+
+    env.run(until=env.process(app(), name="obs.contract"))
+    assert notifications, "contract workload expected a notification"
+    return env.tracer, registry

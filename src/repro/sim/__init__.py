@@ -40,7 +40,7 @@ from repro.sim.core import (
 )
 from repro.sim.conditions import AllOf, AnyOf
 from repro.sim.resources import PriorityResource, Resource, Store
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.trace import TraceRecord, Tracer, TracerOverflowWarning
 
 __all__ = [
     "NS",
@@ -60,6 +60,7 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "TracerOverflowWarning",
     "ns_to_us",
     "us",
 ]

@@ -3,13 +3,30 @@
 Hardware and protocol modules emit named trace points (e.g.
 ``lanai.send.pickup``, ``pci.dma.start``) through the environment's tracer.
 Tests assert on trace sequences; the benchmark harness uses traces to break
-latency into the per-stage costs reported in section 5.2 of the paper.
+latency into the per-stage costs reported in section 5.2 of the paper, and
+:mod:`repro.obs.perfetto` converts a tracer into a Chrome/Perfetto trace.
+
+Limit semantics
+---------------
+A tracer constructed with ``limit=N`` keeps the **first N** records that
+pass the ``keep`` filter.  Records arriving after the cap are *not*
+silently discarded: each one increments :attr:`Tracer.dropped`, and the
+first drop emits a one-time :class:`TracerOverflowWarning` so a truncated
+trace never masquerades as a complete one.  Records rejected by the
+``keep`` filter are *filtered*, not dropped — they do not count.
+The Perfetto exporter carries ``dropped`` into the output document's
+metadata for the same reason.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
+
+
+class TracerOverflowWarning(RuntimeWarning):
+    """Emitted (once per tracer) when records are dropped at the limit."""
 
 
 @dataclass(frozen=True)
@@ -29,6 +46,10 @@ class Tracer:
 
     A ``None``/absent tracer is the common (fast) case: emitters call
     :func:`emit` below, which no-ops when the environment has no tracer.
+
+    See the module docstring for the semantics of ``limit``: records past
+    it are counted in :attr:`dropped` and warned about once, never lost
+    silently.
     """
 
     def __init__(self, keep: Optional[Callable[[str], bool]] = None,
@@ -36,16 +57,30 @@ class Tracer:
         self.records: list[TraceRecord] = []
         self._keep = keep
         self._limit = limit
+        #: Records that passed the filter but were discarded at the limit.
+        self.dropped = 0
+        self._warned = False
 
     def record(self, time: int, category: str, **payload: Any) -> None:
         if self._keep is not None and not self._keep(category):
             return
         if self._limit is not None and len(self.records) >= self._limit:
+            self.dropped += 1
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"tracer limit of {self._limit} records reached; "
+                    f"further records are being counted in "
+                    f"Tracer.dropped, not stored",
+                    TracerOverflowWarning, stacklevel=2)
             return
         self.records.append(TraceRecord(time, category, payload))
 
     def clear(self) -> None:
+        """Discard stored records and reset the drop accounting."""
         self.records.clear()
+        self.dropped = 0
+        self._warned = False
 
     def by_category(self, prefix: str) -> list[TraceRecord]:
         """All records whose category starts with ``prefix``."""

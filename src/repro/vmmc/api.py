@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.sim import Environment, Event
 from repro.sim.trace import emit
+from repro.obs.metrics import count, observe
 from repro.mem.buffers import UserBuffer
 from repro.mem.virtual import PAGE_SIZE
 from repro.hostos.process import UserProcess
@@ -191,6 +192,7 @@ class VMMCEndpoint:
         src_vaddr = src.vaddr + src_offset
 
         def run():
+            t0 = self.env.now
             if length <= 0:
                 raise SendError(f"invalid send length {length}")
             if length > MAX_MESSAGE_BYTES:
@@ -231,6 +233,8 @@ class VMMCEndpoint:
             self.ctx.queue.post(request)
             self.lcp.doorbell()
             self.sends_posted += 1
+            count(self.env, "vmmc.sends_posted", node=self.node_name,
+                  short=is_short)
             emit(self.env, "vmmc.send.posted", node=self.node_name,
                  pid=self.process.pid, slot=slot, length=length,
                  short=is_short)
@@ -245,6 +249,9 @@ class VMMCEndpoint:
                 if status != COMPLETION_DONE:
                     raise SendError(
                         f"send failed with completion status {status}")
+            if synchronous:
+                observe(self.env, "vmmc.send.sync_ns", self.env.now - t0,
+                        node=self.node_name)
             return handle
 
         return self.env.process(run(), name="vmmc.send")

@@ -22,6 +22,7 @@ from typing import Any, Optional
 
 from repro.sim import Environment, Store
 from repro.sim.trace import emit
+from repro.obs.metrics import count
 from repro.mem.buffers import UserBuffer
 from repro.mem.virtual import PAGE_SIZE
 from repro.hostos.ethernet import EthernetNetwork
@@ -96,6 +97,7 @@ class VMMCDaemon:
         transfer does not involve the daemon (section 4.1)."""
         self._crashed = True
         self.crashes += 1
+        count(self.env, "daemon.crashes", node=self.node_name)
         emit(self.env, f"{self.address}.crash")
 
     def restart(self) -> None:
@@ -103,6 +105,7 @@ class VMMCDaemon:
         surviving NIC state, so previously-matched pairs keep working and
         *new* requests are serviced again."""
         self._crashed = False
+        count(self.env, "daemon.restarts", node=self.node_name)
         emit(self.env, f"{self.address}.restart")
 
     # -- local requests (called by the user library) ----------------------------
@@ -139,6 +142,7 @@ class VMMCDaemon:
                 frames, process.pid, record.buffer_id, notify)
             self.exports[name] = record
             self.exports_served += 1
+            count(self.env, "daemon.exports", node=self.node_name)
             emit(self.env, "daemon.export", node=self.node_name, name=name,
                  nbytes=buffer.nbytes)
             return record
@@ -195,6 +199,7 @@ class VMMCDaemon:
                 process.pid, region.first_page, node_index,
                 reply["phys_pages"])
             self.imports_served += 1
+            count(self.env, "daemon.imports", node=self.node_name)
             emit(self.env, "daemon.import", node=self.node_name,
                  remote=remote_node, name=name)
             return region
@@ -210,6 +215,8 @@ class VMMCDaemon:
                 # Dead daemon: the datagram is consumed by the NIC but no
                 # process reads it — the requester sees silence.
                 self.requests_dropped_crashed += 1
+                count(self.env, "daemon.requests_dropped",
+                      node=self.node_name)
                 emit(self.env, f"{self.address}.drop_crashed",
                      op=message.get("op"))
                 continue

@@ -26,6 +26,7 @@ from typing import Any, Callable, Optional
 
 from repro.sim import Environment
 from repro.sim.trace import emit
+from repro.obs.metrics import count as count_metric
 from repro.mem.virtual import PAGE_SIZE, PageFault
 from repro.hostos.driver import DeviceDriver
 from repro.hostos.kernel import Kernel, SIGIO
@@ -93,6 +94,9 @@ class VMMCDriver(DeviceDriver):
         for vpage, paddr in pairs:
             ctx.tlb.insert(vpage, paddr // PAGE_SIZE)
         self.tlb_refills += 1
+        count_metric(self.env, "vmmc.tlb_refills", driver=self.name)
+        count_metric(self.env, "vmmc.pages_locked", len(pairs),
+                     driver=self.name)
         emit(self.env, f"{self.name}.tlb_refill", vaddr=vaddr,
              inserted=len(pairs))
         return True
@@ -103,6 +107,8 @@ class VMMCDriver(DeviceDriver):
         if process is None:
             return False
         self.notifications_delivered += 1
+        count_metric(self.env, "vmmc.notifications_delivered",
+                     driver=self.name)
         # Signal delivery happens after the ISR returns; don't stall the
         # interrupt (or the LCP) on the user handler.
         self.env.process(

@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.sim import AllOf, Environment, Event
 from repro.sim.trace import emit
+from repro.obs.metrics import count, observe
 from repro.mem.virtual import PAGE_SIZE
 from repro.hw.lanai.nic import LanaiNIC
 from repro.hw.myrinet.packet import MyrinetPacket, PacketHeader
@@ -276,15 +277,20 @@ class VmmcLCP:
     # ------------------------------------------------------------- send path
     def _process_send(self, ctx: ProcessContext, request: SendRequest):
         cpu = self.nic.processor
+        t0 = self.env.now
         yield cpu.cycles(self.costs.pickup)
         self.sends_processed += 1
         emit(self.env, f"{self.name}.send.pickup", pid=ctx.pid,
              slot=request.slot, length=request.length,
              short=request.is_short)
         if request.is_short:
+            count(self.env, "lcp.sends", lcp=self.name, kind="short")
             yield from self._send_short(ctx, request)
         else:
+            count(self.env, "lcp.sends", lcp=self.name, kind="long")
             yield from self._send_long(ctx, request)
+        observe(self.env, "lcp.send.service_ns", self.env.now - t0,
+                lcp=self.name)
 
     def _resolve_destination(self, ctx: ProcessContext, proxy_address: int,
                              nbytes: int
@@ -338,6 +344,7 @@ class VmmcLCP:
         yield cpu.cycles(costs.proxy_lookup)
         if resolved is None:
             self.proxy_faults += 1
+            count(self.env, "lcp.proxy_faults", lcp=self.name)
             yield from self._write_completion(ctx, request.slot,
                                               COMPLETION_ERROR)
             return
@@ -351,6 +358,7 @@ class VmmcLCP:
                                    msg_len=request.length)
         self.short_sends += 1
         self.chunks_sent += 1
+        count(self.env, "lcp.chunks", lcp=self.name)
         # The net-send engine streams autonomously; the LCP moves on.
         self.nic.net_send.send(packet)
         yield cpu.cycles(costs.send_epilogue)
@@ -384,6 +392,7 @@ class VmmcLCP:
         frame = ctx.tlb.lookup(vpage)
         if frame is None:
             self.tlb_miss_interrupts += 1
+            count(self.env, "lcp.tlb_miss_interrupts", lcp=self.name)
             yield cpu.cycles(self.costs.raise_interrupt)
             ok = yield self.nic.raise_interrupt(
                 "tlb_miss",
@@ -414,6 +423,7 @@ class VmmcLCP:
             yield cpu.cycles(costs.proxy_lookup)
             if resolved is None:
                 self.proxy_faults += 1
+                count(self.env, "lcp.proxy_faults", lcp=self.name)
                 error = True
                 break
             node, extents = resolved
@@ -446,12 +456,14 @@ class VmmcLCP:
                 # fetching the next chunk.
                 yield net_busy[buf]
             self.chunks_sent += 1
+            count(self.env, "lcp.chunks", lcp=self.name)
             proxy_cursor += clen
             # Responsiveness: if traffic arrived, abandon the tight loop,
             # service it through the main loop, and come back (this is the
             # bidirectional-bandwidth cost of section 5.3).
             if self.nic.net_recv.pending():
                 self.tight_loop_breaks += 1
+                count(self.env, "lcp.tight_loop_breaks", lcp=self.name)
                 yield cpu.cycles(costs.main_loop_full)
                 pkt = yield self.nic.net_recv.inbox.get()
                 yield from self._handle_receive(pkt)
@@ -490,6 +502,7 @@ class VmmcLCP:
         if not packet.meta.get("crc_ok", True):
             # Detected, counted, dropped — never recovered (section 4.2).
             self.crc_drops += 1
+            count(self.env, "lcp.crc_drops", lcp=self.name)
             emit(self.env, f"{self.name}.recv.crc_drop")
             return
         header = packet.header
@@ -503,11 +516,14 @@ class VmmcLCP:
             for frame in range(first_frame, last_frame + 1):
                 if not self.incoming.writable(frame):
                     self.protection_violations += 1
+                    count(self.env, "lcp.protection_violations",
+                          lcp=self.name)
                     emit(self.env, f"{self.name}.recv.protection_violation",
                          frame=frame)
                     return
         yield cpu.cycles(costs.start_dma)
         self.packets_delivered += 1
+        count(self.env, "lcp.packets_delivered", lcp=self.name)
         delivery = self.nic.host_dma.write_host_scatter(
             packet.payload, extents)
         notify = bool(header.get("notify")) or any(
@@ -522,6 +538,7 @@ class VmmcLCP:
                 "length": header.get("msg_length"),
             }
             self.notifications_raised += 1
+            count(self.env, "lcp.notifications", lcp=self.name)
 
             def deliver_then_notify():
                 yield delivery

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.sim import AnyOf, Environment, Resource
 from repro.sim.trace import emit
+from repro.obs.metrics import count, observe
 from repro.mem.buffers import UserBuffer
 from repro.vmmc.api import ImportedBuffer, VMMCEndpoint
 from repro.vmmc.errors import RetriesExhausted, VMMCError
@@ -192,6 +193,7 @@ class ReliableSender:
                 self.stats.messages_sent += 1
                 emit(self.env, "rel.send", channel=self.name, seq=seq,
                      nbytes=len(data))
+                t0 = self.env.now
                 yield from self._transmit(seq, base, data)
                 timeout = self.timeout_ns
                 deadline = self.env.now + timeout
@@ -205,6 +207,7 @@ class ReliableSender:
                     remaining = deadline - self.env.now
                     if remaining <= 0:
                         self.stats.timeouts += 1
+                        count(self.env, "rel.timeouts", channel=self.name)
                         if retries >= self.max_retries:
                             self.stats.send_failures += 1
                             emit(self.env, "rel.send.failed",
@@ -216,6 +219,7 @@ class ReliableSender:
                                 seq=seq, retries=retries)
                         retries += 1
                         self.stats.retransmits += 1
+                        count(self.env, "rel.retransmits", channel=self.name)
                         emit(self.env, "rel.retransmit", channel=self.name,
                              seq=seq, attempt=retries)
                         yield from self._transmit(seq, base, data)
@@ -225,6 +229,8 @@ class ReliableSender:
                     yield AnyOf(self.env,
                                 [watch, self.env.timeout(remaining)])
                 self.stats.messages_delivered += 1
+                observe(self.env, "rel.rtt_ns", self.env.now - t0,
+                        channel=self.name)
                 emit(self.env, "rel.delivered", channel=self.name, seq=seq,
                      retransmits=retries)
                 return seq
@@ -331,6 +337,7 @@ class ReliableReceiver:
                     # re-acknowledge so the sender stops.
                     if self.delivered >= 1:
                         self.stats.duplicates_suppressed += 1
+                        count(self.env, "rel.duplicates", channel=self.name)
                         yield from self._send_ack(self.delivered,
                                                   resend=True)
                 snapshot = current

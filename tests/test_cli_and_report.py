@@ -45,7 +45,7 @@ def test_format_series_merges_on_x():
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("latency", "bandwidth", "overhead", "dma", "shootout",
-                    "vrpc", "sram"):
+                    "vrpc", "sram", "metrics", "trace", "breakdown"):
         args = parser.parse_args([command])
         assert callable(args.func)
 
@@ -76,3 +76,42 @@ def test_cli_overhead(capsys):
     assert main(["overhead", "--sizes", "4,256", "--iters", "3"]) == 0
     out = capsys.readouterr().out
     assert "sync" in out and "async" in out
+
+
+# --------------------------------------------------------- observability CLI
+def test_cli_metrics_json_is_machine_readable(capsys):
+    import json
+
+    assert main(["metrics", "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert any(key.startswith("link.bytes") for key in snap)
+    assert any(key.startswith("rel.retransmits") for key in snap)
+
+
+def test_cli_metrics_table(capsys):
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "Metrics of the instrumented contract workload" in out
+    assert "lcp.sends" in out
+
+
+def test_cli_trace_writes_perfetto_and_checks_docs(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "trace.json"
+    assert main(["trace", "--perfetto", str(out_file), "--check-docs"]) == 0
+    out = capsys.readouterr().out
+    assert "trace events" in out
+    assert "all emitted trace categories are documented" in out
+    document = json.loads(out_file.read_text())
+    assert document["traceEvents"]
+    assert document["otherData"]["dropped"] == 0
+
+
+def test_cli_breakdown_json(capsys):
+    import json
+
+    assert main(["breakdown", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["sum_ns"] == data["total_ns"]
+    assert data["total_us"] == pytest.approx(9.8, abs=0.3)

@@ -1,0 +1,56 @@
+"""Unit tests for the trace-derived §5.2 stage breakdown."""
+
+import json
+
+import pytest
+
+from repro.obs.breakdown import (
+    STAGE_KEYS,
+    STAGE_LABELS,
+    StageBreakdown,
+    measure_stage_breakdown,
+)
+
+
+@pytest.fixture(scope="module")
+def short():
+    return measure_stage_breakdown(4)
+
+
+def test_stages_telescope_to_total_exactly(short):
+    # The acceptance criterion allows 1% drift; the decomposition gives 0.
+    assert short.sum_ns == short.total_ns
+    short.check(tolerance=0.01)
+    short.check(tolerance=0.0)          # exact, so even 0 tolerance holds
+    assert len(short.stages) == len(STAGE_LABELS) == len(STAGE_KEYS)
+    assert all(ns >= 0 for _, ns in short.stages)
+
+
+def test_one_word_latency_matches_paper(short):
+    assert short.total_ns / 1000 == pytest.approx(9.8, abs=0.3)
+
+
+def test_rows_and_json_shape(short):
+    rows = short.rows()
+    assert rows[-1][0] == "TOTAL"
+    assert rows[-1][1] == pytest.approx(short.total_ns / 1000)
+    data = json.loads(short.to_json())
+    assert data["size_bytes"] == 4
+    assert set(data["stages_ns"]) == set(STAGE_KEYS)
+    assert sum(data["stages_ns"].values()) == data["total_ns"]
+
+
+def test_breakdown_is_deterministic(short):
+    again = measure_stage_breakdown(4)
+    assert again.stages == short.stages
+    assert again.total_ns == short.total_ns
+
+
+def test_check_flags_inconsistent_decomposition():
+    bad = StageBreakdown(size=4, stages=(("a", 600), ("b", 300)),
+                         total_ns=1000)
+    with pytest.raises(ValueError):
+        bad.check(tolerance=0.01)
+    bad.check(tolerance=0.2)            # within a loose tolerance
+    with pytest.raises(ValueError):
+        StageBreakdown(size=4, stages=(), total_ns=0).check()

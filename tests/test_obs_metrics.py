@@ -1,0 +1,147 @@
+"""Unit tests for repro.obs.metrics: the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count,
+    observe,
+    registry_of,
+    set_gauge,
+)
+
+
+class _Env:
+    """Bare environment stand-in; carries whatever attributes we set."""
+
+
+# ---------------------------------------------------------------- primitives
+def test_counter_monotonic():
+    c = Counter()
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_high_water_mark():
+    g = Gauge()
+    g.set(7)
+    g.set(2)
+    assert g.value == 2
+    assert g.max_value == 7
+    assert g.snapshot() == {"value": 2, "max": 7}
+
+
+def test_histogram_exact_interpolated_quantiles():
+    h = Histogram()
+    for v in range(1, 101):            # 1..100
+        h.observe(v)
+    assert h.count == 100
+    assert h.sum == 5050
+    # Rank interpolation over 100 samples: p50 sits between 50 and 51.
+    assert h.quantile(0.5) == pytest.approx(50.5)
+    assert h.quantile(0.0) == 1
+    assert h.quantile(1.0) == 100
+    assert h.quantile(0.99) == pytest.approx(99.01)
+    snap = h.snapshot()
+    assert snap["count"] == 100 and snap["min"] == 1 and snap["max"] == 100
+    assert snap["p90"] == pytest.approx(h.quantile(0.9))
+
+
+def test_histogram_edge_cases():
+    h = Histogram()
+    with pytest.raises(ValueError):
+        h.quantile(0.5)                # empty
+    h.observe(5)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)                # outside [0, 1]
+    assert h.quantile(0.5) == 5
+    # Out-of-order observations are sorted lazily but correctly.
+    h.observe(1)
+    h.observe(3)
+    assert h.quantile(0.5) == 3
+    assert Histogram().snapshot() == {"count": 0, "sum": 0}
+
+
+# ------------------------------------------------------------------ registry
+def test_labels_give_distinct_metrics_and_sorted_rendering():
+    reg = MetricsRegistry()
+    reg.counter("link.bytes", link="a->b").inc(10)
+    reg.counter("link.bytes", link="b->a").inc(20)
+    reg.counter("plain").inc()
+    snap = reg.snapshot()
+    assert snap["link.bytes{link=a->b}"] == 10
+    assert snap["link.bytes{link=b->a}"] == 20
+    assert snap["plain"] == 1
+    # Label keys render sorted regardless of kwarg order.
+    reg.counter("multi", zz=1, aa=2).inc()
+    assert "multi{aa=2,zz=1}" in reg.snapshot()
+    assert reg.names() == ["link.bytes", "multi", "plain"]
+
+
+def test_kind_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x", label="other")   # conflict is per base name
+
+
+def test_snapshot_keys_are_sorted():
+    reg = MetricsRegistry()
+    for name in ("zeta", "alpha", "mid"):
+        reg.counter(name).inc()
+    assert list(reg.snapshot()) == sorted(reg.snapshot())
+
+
+def test_rows_render_scalars_and_dicts():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.histogram("h").observe(1.25)
+    rows = dict((k, v) for k, v in reg.rows())
+    assert rows["c"] == "2"
+    assert "count=1" in rows["h"] and "1.25" in rows["h"]
+
+
+# ----------------------------------------------------- emitter-side helpers
+def test_helpers_noop_without_registry():
+    env = _Env()
+    # Must not raise, must not create anything.
+    count(env, "a")
+    set_gauge(env, "b", 1)
+    observe(env, "c", 2)
+    assert registry_of(env) is None
+
+
+def test_helpers_record_with_registry_installed():
+    env = _Env()
+    reg = MetricsRegistry().install(env)
+    assert env.metrics is reg and registry_of(env) is reg
+    count(env, "a", 2, tag="t")
+    set_gauge(env, "b", 9)
+    observe(env, "c", 4)
+    snap = reg.snapshot()
+    assert snap["a{tag=t}"] == 2
+    assert snap["b"]["max"] == 9
+    assert snap["c"]["count"] == 1
+    assert len(reg) == 3
+
+
+# -------------------------------------------------------------- determinism
+def test_snapshot_identical_across_two_seeded_runs():
+    """The acceptance criterion: same seed, bit-identical snapshot."""
+    from repro.obs.breakdown import measure_stage_breakdown
+
+    snaps = []
+    for _ in range(2):
+        registry = MetricsRegistry()
+        measure_stage_breakdown(4, registry=registry)
+        snaps.append(registry.snapshot())
+    assert snaps[0]  # a traced send records real metrics
+    assert snaps[0] == snaps[1]

@@ -1,0 +1,115 @@
+"""Unit tests for the Perfetto/Chrome trace exporter and Tracer limits."""
+
+import json
+
+import pytest
+
+from repro.obs.perfetto import FABRIC_PROCESS, export_chrome_trace
+from repro.sim.trace import Tracer, TracerOverflowWarning
+
+
+def _synthetic_tracer() -> Tracer:
+    t = Tracer()
+    t.record(100, "node0.vmmc.send.posted", size=4)
+    t.record(250, "node0.pci.dma", duration=500, nbytes=4096)
+    t.record(900, "node0->sw0.tx", wire_time=300, wire_bytes=24)
+    t.record(1200, "sw0.forward", out_port=1)
+    t.record(1500, "node1.hostdma.write_host", nbytes=4)
+    t.record(1600, "fault.link_down.raise", target="sw0->node1")
+    t.record(1700, "daemon.node1.crash")
+    return t
+
+
+# ------------------------------------------------------------------ exporter
+def test_export_is_valid_json_and_round_trips(tmp_path):
+    out = tmp_path / "trace.json"
+    document = export_chrome_trace(_synthetic_tracer(), path=out)
+    loaded = json.loads(out.read_text())
+    assert loaded == json.loads(json.dumps(document))
+    assert loaded["otherData"]["records"] == 7
+    assert loaded["otherData"]["dropped"] == 0
+    events = loaded["traceEvents"]
+    assert events, "no events exported"
+    for ev in events:
+        assert ev["ph"] in ("M", "X", "i")
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+
+
+def test_metadata_events_come_first_and_name_processes():
+    document = export_chrome_trace(_synthetic_tracer())
+    events = document["traceEvents"]
+    kinds = [ev["ph"] for ev in events]
+    n_meta = kinds.count("M")
+    assert n_meta > 0
+    assert all(k == "M" for k in kinds[:n_meta])
+    assert "M" not in kinds[n_meta:]
+    names = {ev["args"]["name"] for ev in events
+             if ev["ph"] == "M" and ev["name"] == "process_name"}
+    # One pid per node, plus the shared fabric.
+    assert {"node0", "node1", FABRIC_PROCESS} <= names
+    threads = {ev["args"]["name"] for ev in events
+               if ev["ph"] == "M" and ev["name"] == "thread_name"}
+    assert "node0->sw0" in threads and "sw0" in threads
+
+
+def test_durations_become_complete_events():
+    document = export_chrome_trace(_synthetic_tracer())
+    by_name = {ev["name"]: ev for ev in document["traceEvents"]
+               if ev["ph"] != "M"}
+    dma = by_name["pci.dma"]
+    assert dma["ph"] == "X" and dma["dur"] == pytest.approx(0.5)   # 500 ns
+    tx = by_name["link.tx"]
+    assert tx["ph"] == "X" and tx["dur"] == pytest.approx(0.3)
+    # Canonical names, instance kept in cat.
+    assert by_name["daemon.crash"]["cat"] == "daemon.node1.crash"
+    assert by_name["switch.forward"]["ph"] == "i"
+
+
+def test_per_thread_timestamps_monotonic_on_real_run():
+    from repro.obs.breakdown import traced_oneway_send
+
+    tracer, _, _ = traced_oneway_send(4)
+    document = export_chrome_trace(tracer)
+    streams: dict[tuple, list[float]] = {}
+    for ev in document["traceEvents"]:
+        if ev["ph"] == "M":
+            continue
+        streams.setdefault((ev["pid"], ev["tid"]), []).append(ev["ts"])
+    assert streams
+    for key, series in streams.items():
+        assert series == sorted(series), f"out-of-order events on {key}"
+
+
+# ------------------------------------------------------------- tracer limit
+def test_tracer_limit_counts_drops_and_warns_once():
+    tracer = Tracer(limit=2)
+    with pytest.warns(TracerOverflowWarning) as caught:
+        for i in range(5):
+            tracer.record(i, "cat.x")
+    assert len(tracer.records) == 2
+    assert tracer.dropped == 3
+    assert len(caught) == 1            # one-time warning, not per record
+    # clear() resets drop accounting and re-arms the warning.
+    tracer.clear()
+    assert tracer.dropped == 0
+    with pytest.warns(TracerOverflowWarning):
+        for i in range(3):
+            tracer.record(i, "cat.x")
+
+
+def test_filtered_records_do_not_count_as_dropped():
+    tracer = Tracer(keep=lambda c: c.startswith("keep."), limit=10)
+    tracer.record(0, "keep.a")
+    tracer.record(1, "skip.b")
+    assert len(tracer.records) == 1
+    assert tracer.dropped == 0
+
+
+def test_exporter_carries_dropped_count():
+    tracer = Tracer(limit=1)
+    with pytest.warns(TracerOverflowWarning):
+        tracer.record(0, "node0.vmmc.send.posted")
+        tracer.record(1, "node0.vmmc.send.posted")
+    document = export_chrome_trace(tracer)
+    assert document["otherData"]["dropped"] == 1
+    assert document["otherData"]["records"] == 1

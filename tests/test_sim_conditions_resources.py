@@ -10,6 +10,7 @@ from repro.sim import (
     SimulationError,
     Store,
     Tracer,
+    TracerOverflowWarning,
 )
 from repro.sim.trace import emit
 
@@ -310,8 +311,11 @@ def test_emit_without_tracer_is_noop():
 def test_tracer_limit():
     tracer = Tracer(limit=2)
     env = Environment(tracer=tracer)
-    for i in range(5):
-        emit(env, f"cat{i}")
+    with pytest.warns(TracerOverflowWarning):
+        for i in range(5):
+            emit(env, f"cat{i}")
     assert len(tracer) == 2
+    assert tracer.dropped == 3         # over-limit records are counted
     tracer.clear()
     assert len(tracer) == 0
+    assert tracer.dropped == 0

@@ -1,0 +1,114 @@
+"""The docs-vs-code diff: docs/TRACING.md cannot drift from the emitters.
+
+Two-way check against the instrumented contract workload
+(:func:`repro.obs.workload.run_contract_workload`):
+
+* every category the workload emits must be documented (else the emitter
+  grew an undocumented trace point);
+* every category documented with coverage class ``e2e`` must be emitted by
+  the workload (else the docs describe a trace point that no longer fires,
+  or the workload stopped exercising it);
+* every metric name the workload records must appear in the "Metrics
+  reference" table.
+
+``rare``-class categories (error paths, SHRIMP, EISA) are exempt from the
+second check but still satisfy the first if they ever fire.
+"""
+
+import pytest
+
+from repro.obs.contract import (
+    canonical_category,
+    documented_categories,
+    documented_metrics,
+    matches_pattern,
+    node_of,
+    undocumented,
+)
+
+
+# --------------------------------------------------------- canonical names
+def test_canonical_category_strips_instances():
+    cases = {
+        "node0.lcp.send.pickup": "lcp.send.pickup",
+        "node12.pci.dma": "pci.dma",
+        "node0->sw0.tx": "link.tx",
+        "sw3.forward": "switch.forward",
+        "daemon.node1.crash": "daemon.crash",
+        "fault.link_down.raise": "fault.link_down.raise",
+        "mapping.start": "mapping.start",
+    }
+    for emitted, canonical in cases.items():
+        assert canonical_category(emitted) == canonical, emitted
+
+
+def test_node_of_identifies_owner():
+    assert node_of("node0.lcp.send.pickup") == "node0"
+    assert node_of("daemon.node1.crash") == "node1"
+    assert node_of("sw0.forward") is None
+    assert node_of("node0->sw0.tx") is None
+
+
+def test_matches_pattern_wildcards():
+    assert matches_pattern("fault.<kind>.raise", "fault.link_down.raise")
+    assert not matches_pattern("fault.<kind>.raise", "fault.raise")
+    assert not matches_pattern("lcp.send", "lcp.send.pickup")
+    assert matches_pattern("lcp.send.pickup", "lcp.send.pickup")
+
+
+# ------------------------------------------------------------- docs parsing
+def test_docs_parse_with_known_coverage_classes():
+    documented = documented_categories()
+    assert len(documented) > 30
+    assert set(documented.values()) <= {"e2e", "rare"}
+    # Spot checks: the §5.2 boundary categories are all documented e2e.
+    for must in ("vmmc.send.posted", "lcp.send.pickup", "lanai.netsend",
+                 "lanai.netrecv", "hostdma.write_host", "link.tx"):
+        assert documented.get(must) == "e2e", must
+    metrics = documented_metrics()
+    assert len(metrics) > 30
+    assert "link.bytes" in metrics and "rel.retransmits" in metrics
+
+
+# -------------------------------------------------------- the two-way diff
+@pytest.fixture(scope="module")
+def workload():
+    from repro.obs.workload import run_contract_workload
+
+    tracer, registry = run_contract_workload()
+    return tracer, registry
+
+
+def test_every_emitted_category_documented(workload):
+    tracer, _ = workload
+    assert undocumented(tracer) == []
+
+
+def test_every_e2e_documented_category_emitted(workload):
+    tracer, _ = workload
+    emitted = {canonical_category(c) for c in tracer.categories()}
+    missing = [pattern
+               for pattern, coverage in documented_categories().items()
+               if coverage == "e2e"
+               and not any(matches_pattern(pattern, c) for c in emitted)]
+    assert missing == [], (
+        f"documented as e2e but never emitted by the contract workload: "
+        f"{missing}")
+
+
+def test_every_recorded_metric_documented(workload):
+    _, registry = workload
+    assert registry.names(), "workload recorded no metrics"
+    missing = sorted(set(registry.names()) - documented_metrics())
+    assert missing == [], (
+        f"metrics recorded but absent from docs/TRACING.md: {missing}")
+
+
+def test_contract_workload_is_deterministic(workload):
+    from repro.obs.workload import run_contract_workload
+
+    tracer, registry = workload
+    tracer2, registry2 = run_contract_workload()
+    assert registry2.snapshot() == registry.snapshot()
+    assert [(r.time, r.category) for r in tracer2] == \
+           [(r.time, r.category) for r in tracer]
