@@ -13,11 +13,17 @@ A second table runs the reliable layer under a *seeded fault campaign*
 (clustered bit-error bursts injected mid-run by :mod:`repro.faults`) and
 asserts the chaos is deterministic: same seed, same FaultStats, same
 retransmit count, byte for byte.
+
+A third table cold-crashes both VMMC daemons mid-stream (the import-
+lifecycle recovery protocol: epoch bump, invalidate broadcast, export
+re-registration, transparent reimport) and asserts exactly-once delivery
+plus determinism of the recovery counters.
 """
 
 from repro.bench.chaos import (
     run_baseline_point,
     run_campaign_point,
+    run_cold_crash_point,
     run_reliable_point,
 )
 from repro.bench.report import format_table
@@ -39,8 +45,12 @@ def measure_chaos_sweep() -> dict:
     # Determinism fixture: the same campaign, twice.
     point_a, stats_a = run_campaign_point(seed=CAMPAIGN_SEED)
     point_b, stats_b = run_campaign_point(seed=CAMPAIGN_SEED)
+    # Cold-crash recovery fixture: same seed, twice.
+    cold_a = run_cold_crash_point(seed=CAMPAIGN_SEED)
+    cold_b = run_cold_crash_point(seed=CAMPAIGN_SEED)
     return {"sweep": sweep,
-            "campaign": [(point_a, stats_a), (point_b, stats_b)]}
+            "campaign": [(point_a, stats_a), (point_b, stats_b)],
+            "cold": [cold_a, cold_b]}
 
 
 def bench_chaos_reliability(benchmark):
@@ -61,6 +71,12 @@ def bench_chaos_reliability(benchmark):
          p.duplicates_suppressed]
         for run, (p, stats) in (("first", (point_a, stats_a)),
                                 ("second", (point_b, stats_b)))]
+    cold_a, cold_b = result["cold"]
+    cold_rows = [
+        [run, f"{p.delivered_intact}/{p.messages}", p.retransmits,
+         rec["cold_restarts"], rec["reimports"], rec["stale_transmits"],
+         rec["stale_writes_blocked"]]
+        for run, (p, _stats, rec) in (("first", cold_a), ("second", cold_b))]
     publish("chaos_reliability", "\n\n".join([
         format_table(
             f"Chaos sweep: {MESSAGES} x {SIZE}B messages per cell",
@@ -70,7 +86,12 @@ def bench_chaos_reliability(benchmark):
             f"Fault campaign '{stats_a.campaign}' run twice "
             f"(seed {CAMPAIGN_SEED})",
             ["run", "faults", "intact", "retransmits", "dup suppressed"],
-            campaign_rows)]))
+            campaign_rows),
+        format_table(
+            f"Daemon cold-crash recovery '{cold_a[1].campaign}' run twice "
+            f"(seed {CAMPAIGN_SEED})",
+            ["run", "intact", "retransmits", "cold restarts", "reimports",
+             "stale transmits", "stale writes blocked"], cold_rows)]))
 
     # --- The reliability contract -------------------------------------
     # Reliable VMMC delivers 100% byte-exact at every swept rate, up to
@@ -100,3 +121,15 @@ def bench_chaos_reliability(benchmark):
     assert point_a.delivered_intact == point_a.messages
     assert point_b.delivered_intact == point_b.messages
     assert point_a.retransmits > 0  # the bursts actually hit the stream
+
+    # --- Cold-crash recovery: exactly once, deterministically ----------
+    for cold_point, cold_stats, recovery in (cold_a, cold_b):
+        assert cold_point.delivered_intact == cold_point.messages
+        assert cold_point.send_failures == 0
+        assert cold_stats.by_kind.get("daemon_cold_crash") == 2
+        assert recovery["cold_restarts"] == 2
+        assert recovery["reimports"] > 0       # the protocol actually ran
+        assert recovery["exports_reestablished"] > 0
+    assert cold_a[0] == cold_b[0]
+    assert cold_a[1].as_dict() == cold_b[1].as_dict()
+    assert cold_a[2] == cold_b[2]

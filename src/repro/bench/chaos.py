@@ -18,10 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.sim import Environment
 from repro.cluster import Cluster, TestbedConfig
 from repro.hw.myrinet.link import LinkParams
-from repro.faults import FaultCampaign, FaultInjector, FaultStats
+from repro.faults import (DAEMON_COLD_CRASH, FaultCampaign, FaultEvent,
+                          FaultInjector, FaultStats)
 from repro.vmmc.reliable import HEADER_BYTES, open_channel
 
 #: Settle time after the last send before the delivered count is read:
@@ -191,3 +194,95 @@ def run_campaign_point(seed: int, messages: int = 60, size: int = 1024
                                       campaign=campaign)
     assert stats is not None
     return point, stats
+
+
+def cold_crash_campaign(seed: int, start_ns: int = 0,
+                        gap_ns: int = 4_000_000) -> FaultCampaign:
+    """Cold daemon crashes for the recovery protocol: first the
+    *receiver's* daemon (node1 — the sender's ring import goes stale),
+    then the *sender's* (node0 — the receiver's ACK import goes stale),
+    in disjoint windows so the cluster never loses both daemons at once.
+    Crash times and dead windows are drawn deterministically from
+    ``seed``."""
+    rng = np.random.default_rng(seed)
+    events = []
+    for i, node in enumerate(("node1", "node0")):
+        at = start_ns + i * gap_ns + int(rng.integers(100_000, 1_500_000))
+        dead_ns = int(rng.integers(300_000, 800_000))
+        events.append(FaultEvent(at_ns=at, kind=DAEMON_COLD_CRASH,
+                                 target=node, duration_ns=dead_ns))
+    return FaultCampaign.of(f"cold_crash.seed{seed}", events, seed=seed)
+
+
+def run_cold_crash_point(seed: int, messages: int = 200, size: int = 1024
+                         ) -> tuple[ChaosPoint, FaultStats, dict]:
+    """Reliable transfer while both daemons cold-crash mid-stream.
+
+    The acceptance experiment for the import-lifecycle redesign: every
+    payload must arrive intact exactly once (the reliable layer reimports
+    stale destinations transparently), and no write may land through a
+    dead mapping (``stale_writes_blocked`` counts the incoming page
+    table's refusals).  Returns ``(point, fault_stats, recovery)`` where
+    ``recovery`` aggregates the protocol's counters — identical across
+    reruns of the same seed."""
+    cluster = _two_node_cluster(0.0)
+    env = cluster.env
+    _, ep_tx = cluster.nodes[0].attach_process("chaos_tx")
+    _, ep_rx = cluster.nodes[1].attach_process("chaos_rx")
+    tx, rx = env.run(until=open_channel(
+        ep_tx, ep_rx, "chaos", slot_bytes=HEADER_BYTES + size))
+
+    campaign = cold_crash_campaign(seed, start_ns=env.now)
+    injector = FaultInjector(cluster)
+    campaign_done = injector.run(campaign)
+
+    result: dict[str, object] = {}
+
+    def receiver():
+        got = []
+        for _ in range(messages):
+            payload = yield rx.recv()
+            got.append(payload)
+        result["got"] = got
+        result["end"] = env.now
+
+    def sender():
+        for i in range(messages):
+            yield tx.send(_pattern(i, size))
+
+    start = env.now
+    rx_proc = env.process(receiver())
+    env.process(sender())
+    env.run(until=rx_proc)
+    env.run(until=campaign_done)
+    env.run(until=env.now + DRAIN_NS)
+
+    got = result["got"]
+    intact = sum(1 for i, g in enumerate(got) if g == _pattern(i, size))
+    elapsed = int(result["end"]) - start
+    point = ChaosPoint(
+        error_rate=0.0, mode="reliable", messages=messages, size=size,
+        delivered_intact=intact,
+        crc_drops=(cluster.nodes[0].lcp.crc_drops
+                   + cluster.nodes[1].lcp.crc_drops),
+        retransmits=tx.stats.retransmits,
+        acks_resent=rx.stats.acks_resent,
+        duplicates_suppressed=rx.stats.duplicates_suppressed,
+        send_failures=tx.stats.send_failures,
+        elapsed_ns=elapsed)
+    daemons = [node.daemon for node in cluster.nodes]
+    recovery = {
+        "cold_restarts": sum(d.cold_restarts for d in daemons),
+        "invalidations_rx": sum(d.invalidations_rx for d in daemons),
+        "imports_invalidated": sum(d.imports_invalidated for d in daemons),
+        "exports_reestablished":
+            sum(d.exports_reestablished for d in daemons),
+        "reimports": tx.stats.reimports + rx.stats.reimports,
+        "stale_transmits":
+            tx.stats.stale_transmits + rx.stats.stale_transmits,
+        "stale_sends_blocked":
+            ep_tx.stale_sends_blocked + ep_rx.stale_sends_blocked,
+        "stale_writes_blocked":
+            sum(node.lcp.protection_violations for node in cluster.nodes),
+    }
+    return point, injector.stats, recovery

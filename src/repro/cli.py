@@ -13,7 +13,9 @@ shootout     sections 6–7 — every protocol on identical hardware
 vrpc         section 5.4 — vRPC vs SunRPC/UDP
 sram         NIC SRAM accounting of a booted node
 chaos        extension — lossy-link sweep + fault campaign: baseline
-             VMMC vs the reliable-delivery layer
+             VMMC vs the reliable-delivery layer; with
+             ``--scenario daemon-cold-crash``, exactly-once delivery
+             across cold daemon restarts (``--report`` for JSON)
 metrics      observability — metrics snapshot of the instrumented
              contract workload (``--json`` for machine consumption)
 trace        observability — Perfetto / Chrome trace-event export of the
@@ -161,8 +163,12 @@ def cmd_chaos(args) -> int:
     from repro.bench.chaos import (
         run_baseline_point,
         run_campaign_point,
+        run_cold_crash_point,
         run_reliable_point,
     )
+
+    if args.scenario == "daemon-cold-crash":
+        return _chaos_cold_crash(args, run_cold_crash_point)
 
     rows = []
     for rate in args.rates:
@@ -190,6 +196,47 @@ def cmd_chaos(args) -> int:
           f"{point.duplicates_suppressed} duplicates suppressed "
           "(rerun with the same seed for identical numbers)")
     return 0
+
+
+def _chaos_cold_crash(args, run_cold_crash_point) -> int:
+    """``chaos --scenario daemon-cold-crash``: reliable traffic while both
+    daemons cold-crash; prove exactly-once delivery across the recovery
+    protocol and (optionally) write a JSON report."""
+    import json
+
+    point, stats, recovery = run_cold_crash_point(
+        seed=args.seed, messages=args.messages, size=args.size)
+    rows = [["delivered intact", f"{point.delivered_intact}/{point.messages}"],
+            ["retransmits", point.retransmits],
+            ["duplicates suppressed", point.duplicates_suppressed],
+            ["send failures", point.send_failures]]
+    rows += [[key.replace("_", " "), value]
+             for key, value in recovery.items()]
+    print(format_table(
+        f"Daemon cold-crash recovery, campaign '{stats.campaign}' "
+        f"({stats.faults_raised} faults)", ["counter", "value"], rows))
+    ok = (point.delivered_intact == point.messages
+          and point.send_failures == 0)
+    print("exactly-once delivery across cold restarts: "
+          + ("PASS" if ok else "FAIL"))
+    if args.report:
+        report = {
+            "scenario": "daemon-cold-crash",
+            "seed": args.seed,
+            "messages": point.messages,
+            "size": point.size,
+            "delivered_intact": point.delivered_intact,
+            "retransmits": point.retransmits,
+            "duplicates_suppressed": point.duplicates_suppressed,
+            "send_failures": point.send_failures,
+            "exactly_once": ok,
+            "faults": stats.as_dict(),
+            "recovery": recovery,
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
 
 
 def cmd_metrics(args) -> int:
@@ -292,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--messages", type=int, default=60)
     chaos.add_argument("--size", type=int, default=1024)
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--scenario", choices=["sweep", "daemon-cold-crash"],
+                       default="sweep",
+                       help="'sweep' = lossy-link comparison (default); "
+                            "'daemon-cold-crash' = reliable traffic across "
+                            "cold daemon restarts (recovery protocol)")
+    chaos.add_argument("--report", metavar="FILE",
+                       help="write a JSON report of the scenario run")
     chaos.set_defaults(func=cmd_chaos)
 
     met = sub.add_parser(

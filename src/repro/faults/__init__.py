@@ -22,6 +22,7 @@ silently drops.
 """
 
 from repro.faults.campaign import (
+    DAEMON_COLD_CRASH,
     DAEMON_CRASH,
     FAULT_KINDS,
     FaultCampaign,
@@ -35,6 +36,7 @@ from repro.faults.campaign import (
 from repro.faults.injector import FaultInjector
 
 __all__ = [
+    "DAEMON_COLD_CRASH",
     "DAEMON_CRASH",
     "FAULT_KINDS",
     "FaultCampaign",

@@ -28,6 +28,7 @@ LINK_DOWN = "link_down"
 SWITCH_PORT_DOWN = "switch_port_down"
 LANAI_STALL = "lanai_stall"
 DAEMON_CRASH = "daemon_crash"
+DAEMON_COLD_CRASH = "daemon_cold_crash"
 
 FAULT_KINDS = frozenset({
     LINK_ERROR_BURST,
@@ -35,6 +36,7 @@ FAULT_KINDS = frozenset({
     SWITCH_PORT_DOWN,
     LANAI_STALL,
     DAEMON_CRASH,
+    DAEMON_COLD_CRASH,
 })
 
 
@@ -55,7 +57,12 @@ class FaultEvent:
     ``lanai_stall``        node name (``"node1"``); the LANai freezes for
                            ``duration_ns``
     ``daemon_crash``       node name; the daemon is dead for ``duration_ns``
-                           then restarted
+                           then restarted (warm: NIC state survives)
+    ``daemon_cold_crash``  node name; the daemon is dead for ``duration_ns``
+                           then *cold*-restarted: the export table and the
+                           NIC page-table state are lost, the epoch bumps,
+                           and the invalidation/recovery protocol runs
+                           (:meth:`repro.vmmc.daemon.VMMCDaemon.restart`)
     =====================  ==================================================
 
     ``duration_ns`` of ``None`` means the fault is raised and never

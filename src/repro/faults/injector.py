@@ -25,6 +25,7 @@ from repro.sim import Environment, Process
 from repro.sim.trace import emit
 from repro.obs.metrics import count, observe
 from repro.faults.campaign import (
+    DAEMON_COLD_CRASH,
     DAEMON_CRASH,
     FaultCampaign,
     FaultEvent,
@@ -61,7 +62,7 @@ class FaultInjector:
             fabric.switches[switch_name].set_port_down(int(port))
         elif event.kind == LANAI_STALL:
             self._node(event.target).nic.processor.stall(event.duration_ns)
-        elif event.kind == DAEMON_CRASH:
+        elif event.kind in (DAEMON_CRASH, DAEMON_COLD_CRASH):
             self._node(event.target).daemon.crash()
         else:  # pragma: no cover - FaultEvent validates kinds
             raise ValueError(f"unknown fault kind {event.kind!r}")
@@ -80,6 +81,8 @@ class FaultInjector:
             pass  # the stall expires on its own inside the processor
         elif event.kind == DAEMON_CRASH:
             self._node(event.target).daemon.restart()
+        elif event.kind == DAEMON_COLD_CRASH:
+            self._node(event.target).daemon.restart(cold=True)
 
     # -- execution ------------------------------------------------------------
     def run(self, campaign: FaultCampaign) -> Process:

@@ -90,6 +90,10 @@ class EthernetNetwork:
         self._mailboxes[dst].put(
             Datagram(src=src, dst=dst, payload=payload, sent_at=self.env.now))
 
+    def endpoints(self) -> list[str]:
+        """Registered endpoint addresses (the daemons' broadcast domain)."""
+        return list(self._mailboxes)
+
     def receive(self, endpoint: str):
         """Event: the next datagram addressed to ``endpoint``."""
         return self._mailboxes[endpoint].get()

@@ -182,14 +182,14 @@ class Communicator:
                 if frag:
                     tx.scratch.write(frag)
                     yield self.ep.send(
-                        tx.scratch, tx.remote_ring, len(frag),
-                        dest_offset=base + _HEADER_BYTES)
+                        tx.scratch, tx.remote_ring.at(base + _HEADER_BYTES),
+                        len(frag))
                 header = (_u32(seq) + _u32(tag) + _u32(total)
                           + _u32(len(frag)))
                 tx.scratch.write(header, offset=self.slot_bytes)
                 yield self.ep.send(
-                    tx.scratch, tx.remote_ring, _HEADER_BYTES,
-                    src_offset=self.slot_bytes, dest_offset=base)
+                    tx.scratch, tx.remote_ring.at(base), _HEADER_BYTES,
+                    src_offset=self.slot_bytes)
                 tx.next_seq += 1
                 self.fragments_sent += 1
                 offset += len(frag)
@@ -249,7 +249,7 @@ class Communicator:
             # into the sender's exported credit word.
             rx.credit_scratch.write(_u32(seq))
             yield self.ep.send(rx.credit_scratch,
-                               self._tx[src].credit_at_peer, 4)
+                               self._tx[src].credit_at_peer.at(0), 4)
         return msg_tag, b"".join(chunks)
 
     # -- numpy conveniences --------------------------------------------------------

@@ -92,15 +92,16 @@ class _Channel:
         def run():
             total = len(record) + bulk_nbytes
             self.scratch.write(record)
-            yield ep.send(self.scratch, self.remote, len(record),
-                          dest_offset=_DATA_OFFSET)
+            yield ep.send(self.scratch, self.remote.at(_DATA_OFFSET),
+                          len(record))
             if bulk is not None and bulk_nbytes:
                 # Bulk arguments go straight from the user's buffer —
                 # VMMC's zero-copy send side.
-                yield ep.send(bulk, self.remote, bulk_nbytes,
-                              dest_offset=_DATA_OFFSET + len(record))
+                yield ep.send(bulk,
+                              self.remote.at(_DATA_OFFSET + len(record)),
+                              bulk_nbytes)
             self.scratch.write(_header(seq, total))
-            yield ep.send(self.scratch, self.remote, _HEADER_BYTES)
+            yield ep.send(self.scratch, self.remote.at(0), _HEADER_BYTES)
 
         return ep.env.process(run(), name="vrpc.deposit")
 

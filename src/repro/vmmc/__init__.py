@@ -28,7 +28,9 @@ module                role
                       notification delivery via signals)
 ``daemon``            the per-node VMMC daemon (export/import matchmaking
                       over Ethernet)
-``api``               the user-level VMMC basic library
+``api``               the user-level VMMC basic library; lifecycle-aware
+                      export/import handles and typed ``ProxyAddress``
+                      send destinations (see docs/API.md)
 ``reliable``          retransmission layer over the API (extension): ACK
                       by remote-memory write, timeout + backoff + bounded
                       retries, exactly-once payload application
@@ -36,14 +38,26 @@ module                role
 """
 
 from repro.vmmc.errors import (
+    CompletionError,
     ExportError,
     ImportDenied,
+    ImportStale,
+    ImportTimeout,
+    InvalidSendError,
     ProxyFault,
     RetriesExhausted,
     SendError,
     VMMCError,
 )
-from repro.vmmc.api import VMMCEndpoint, ImportedBuffer, SendHandle
+from repro.vmmc.api import (
+    ExportHandle,
+    ImportedBuffer,
+    LifecycleState,
+    ProxyAddress,
+    SendHandle,
+    VMMCEndpoint,
+)
+from repro.vmmc.daemon import ImportGrant
 from repro.vmmc.pagetables import IncomingPageTable, OutgoingPageTable
 from repro.vmmc.proxy import ProxySpace
 from repro.vmmc.tlb import SoftwareTLB
@@ -56,11 +70,19 @@ from repro.vmmc.reliable import (
 )
 
 __all__ = [
+    "CompletionError",
     "ExportError",
+    "ExportHandle",
     "ImportDenied",
+    "ImportGrant",
+    "ImportStale",
+    "ImportTimeout",
     "ImportedBuffer",
     "IncomingPageTable",
+    "InvalidSendError",
+    "LifecycleState",
     "OutgoingPageTable",
+    "ProxyAddress",
     "ProxyFault",
     "ProxySpace",
     "ReliableReceiver",

@@ -10,6 +10,23 @@ The library chooses the short or long request format transparently
 (section 4.5) and implements synchronous sends by spinning on the per-slot
 completion word that the LANai DMAs into pinned user memory.
 
+Import/export lifecycle (extension beyond the paper)
+----------------------------------------------------
+Export-import relations are no longer fire-and-forget.  Both
+:class:`ExportHandle` and :class:`ImportedBuffer` carry a
+:class:`LifecycleState`::
+
+    ACTIVE ──(peer/local daemon cold restart)──> STALE ──┬─> REESTABLISHED
+       │                                                 │   (reimport())
+       └───────────────(unimport/unexport)───────────────┴─> REVOKED
+
+Sends to a non-usable import fail *fast* with a typed
+:class:`~repro.vmmc.errors.ImportStale` — before any I/O, so data can
+never be written through a dangling proxy mapping.  Endpoints can register
+``imported.on_invalidate(callback)`` to react to invalidations, and
+``imported.reimport()`` re-establishes the relation (fresh proxy region,
+fresh outgoing page-table entries, the exporter's current epoch).
+
 Typical user code (a simulation generator)::
 
     def app(env, ep_sender, ep_receiver, recv_buf):
@@ -17,13 +34,15 @@ Typical user code (a simulation generator)::
         imported = yield ep_sender.import_buffer("node1", "inbox")
         src = ep_sender.alloc_buffer(4096)
         src.fill(0x42)
-        handle = yield ep_sender.send(src, imported, 4096)   # sync
+        handle = yield ep_sender.send(src, imported.at(0), 4096)   # sync
         # data is now in recv_buf on node1, no receive call needed
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import enum
+import warnings
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 import numpy as np
@@ -34,9 +53,15 @@ from repro.obs.metrics import count, observe
 from repro.mem.buffers import UserBuffer
 from repro.mem.virtual import PAGE_SIZE
 from repro.hostos.process import UserProcess
-from repro.vmmc.daemon import ExportRecord, VMMCDaemon
+from repro.vmmc.daemon import ExportRecord, ImportGrant, VMMCDaemon
 from repro.vmmc.driver import VMMCDriver
-from repro.vmmc.errors import SendError, VMMCError
+from repro.vmmc.errors import (
+    CompletionError,
+    ImportStale,
+    InvalidSendError,
+    SendError,
+    VMMCError,
+)
 from repro.vmmc.lcp import ProcessContext, VmmcLCP
 from repro.vmmc.proxy import ProxyRegion
 from repro.vmmc.sendqueue import (
@@ -56,37 +81,161 @@ LIB_CHECK_OVERHEAD_NS = 250
 MAX_MESSAGE_BYTES = 8 * 1024 * 1024
 
 
+class LifecycleState(enum.Enum):
+    """Lifecycle of an export-import relation (see module docstring)."""
+
+    ACTIVE = "active"
+    STALE = "stale"
+    REVOKED = "revoked"
+    REESTABLISHED = "reestablished"
+
+    @property
+    def usable(self) -> bool:
+        return self in (LifecycleState.ACTIVE, LifecycleState.REESTABLISHED)
+
+
 @dataclass
 class ExportHandle:
-    """A successfully exported receive buffer."""
+    """A successfully exported receive buffer (lifecycle-aware)."""
 
     name: str
     buffer: UserBuffer
     record: ExportRecord
+    state: LifecycleState = LifecycleState.ACTIVE
+    #: Times this export was re-registered after a daemon cold boot.
+    reestablishments: int = 0
+
+    @property
+    def usable(self) -> bool:
+        return self.state.usable
+
+    def reestablish(self, record: ExportRecord) -> None:
+        """Daemon cold boot re-registered this export under a fresh buffer
+        id.  Notification arming does **not** survive (the old buffer id's
+        registration is dropped) — re-export with a handler to re-arm."""
+        self.record = record
+        self.state = LifecycleState.REESTABLISHED
+        self.reestablishments += 1
+
+    def revoke(self) -> None:
+        self.state = LifecycleState.REVOKED
 
 
 class ImportedBuffer:
     """A successfully imported remote receive buffer.
 
-    Proxy addresses for sends are derived from it: ``imported.address(off)``.
+    Typed destinations for sends are derived from it:
+    ``imported.at(offset)`` (a :class:`ProxyAddress`).  The raw-integer
+    form ``imported.address(offset)`` still exists but is deprecated —
+    raw addresses cannot be checked for staleness.
     """
 
-    def __init__(self, remote_node: str, name: str, region: ProxyRegion):
+    def __init__(self, endpoint: "VMMCEndpoint", remote_node: str,
+                 name: str, grant: ImportGrant):
+        self._ep = endpoint
         self.remote_node = remote_node
         self.name = name
-        self.region = region
+        self.region: ProxyRegion = grant.region
+        #: Exporter-side buffer identity and daemon epoch at grant time.
+        self.buffer_id = grant.buffer_id
+        self.epoch = grant.epoch
+        self.state = LifecycleState.ACTIVE
+        #: Why the import went stale (diagnostics; "" while usable).
+        self.stale_reason = ""
+        #: Completed reimport() count.
+        self.reestablishments = 0
+        self._invalidate_callbacks: list[Callable[[dict], object]] = []
 
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def usable(self) -> bool:
+        return self.state.usable
+
+    def on_invalidate(self, callback: Callable[[dict], object]
+                      ) -> Callable[[dict], object]:
+        """Register a callback fired when this import is invalidated.
+
+        The callback receives ``{"remote_node", "name", "epoch",
+        "reason"}``; it runs synchronously at invalidation time (keep it
+        cheap — typically it flags the import for re-establishment)."""
+        self._invalidate_callbacks.append(callback)
+        return callback
+
+    def _mark_stale(self, reason: str, epoch: Optional[int]) -> None:
+        self.state = LifecycleState.STALE
+        self.stale_reason = reason
+        info = {"remote_node": self.remote_node, "name": self.name,
+                "epoch": epoch, "reason": reason}
+        for callback in self._invalidate_callbacks:
+            callback(info)
+
+    def _revoke(self) -> None:
+        self.state = LifecycleState.REVOKED
+        self.stale_reason = "unimported"
+
+    def _rebind(self, grant: ImportGrant) -> None:
+        self.region = grant.region
+        self.buffer_id = grant.buffer_id
+        self.epoch = grant.epoch
+        self.state = LifecycleState.REESTABLISHED
+        self.stale_reason = ""
+        self.reestablishments += 1
+
+    def reimport(self, timeout_ns: Optional[int] = None):
+        """Process: re-establish a stale import (fresh proxy region and
+        outgoing entries at the exporter's current epoch).  Convenience
+        for :meth:`VMMCEndpoint.reimport`."""
+        return self._ep.reimport(self, timeout_ns=timeout_ns)
+
+    # -- addressing --------------------------------------------------------
     @property
     def nbytes(self) -> int:
         return self.region.nbytes
 
+    def at(self, offset: int = 0) -> "ProxyAddress":
+        """Typed send destination ``offset`` bytes into the buffer.
+
+        The returned :class:`ProxyAddress` re-resolves through the
+        current proxy region on every send, so it stays valid across a
+        ``reimport()`` (unlike a raw integer address)."""
+        if not 0 <= offset < self.region.nbytes:
+            raise VMMCError(
+                f"offset {offset} outside imported buffer of "
+                f"{self.region.nbytes} bytes")
+        return ProxyAddress(self, offset)
+
     def address(self, offset: int = 0) -> int:
-        """Destination proxy address ``offset`` bytes into the buffer."""
+        """Raw destination proxy address (deprecated: prefer :meth:`at`;
+        integers cannot fail fast when the import goes stale)."""
+        if not self.usable:
+            raise ImportStale(
+                f"import {self.remote_node}:{self.name} is "
+                f"{self.state.value} ({self.stale_reason})",
+                remote_node=self.remote_node, name=self.name,
+                state=self.state.value, epoch=self.epoch)
         return self.region.address(offset)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ImportedBuffer({self.remote_node}:{self.name}, "
-                f"{self.nbytes}B @proxy {self.region.base_address:#x})")
+                f"{self.region.nbytes}B @proxy "
+                f"{self.region.base_address:#x}, {self.state.value})")
+
+
+@dataclass(frozen=True)
+class ProxyAddress:
+    """A typed send destination: an :class:`ImportedBuffer` plus a byte
+    offset.  Replaces the untyped ``Union[int, ImportedBuffer, tuple]``
+    destination forms (which remain accepted behind a deprecation shim)."""
+
+    imported: ImportedBuffer
+    offset: int = 0
+
+    def __add__(self, extra: int) -> "ProxyAddress":
+        return ProxyAddress(self.imported, self.offset + extra)
+
+    def resolve(self) -> int:
+        """Current raw proxy address (staleness-checked)."""
+        return self.imported.address(self.offset)
 
 
 @dataclass
@@ -107,7 +256,8 @@ class SendHandle:
         return self.is_short
 
 
-Destination = Union[int, ImportedBuffer, tuple[ImportedBuffer, int]]
+Destination = Union[ProxyAddress, ImportedBuffer, int,
+                    tuple[ImportedBuffer, int]]
 
 
 class VMMCEndpoint:
@@ -126,6 +276,11 @@ class VMMCEndpoint:
         self.daemon = daemon
         self.membus = membus
         self.sends_posted = 0
+        self.stale_sends_blocked = 0
+        self.reimports = 0
+        self._exports: dict[str, ExportHandle] = {}
+        self._imports: list[ImportedBuffer] = []
+        daemon.register_endpoint(self)
 
     # -- buffer management ---------------------------------------------------
     def alloc_buffer(self, nbytes: int) -> UserBuffer:
@@ -150,33 +305,165 @@ class VMMCEndpoint:
             if notify_handler is not None:
                 self.driver.register_notify_handler(
                     self.process.pid, record.buffer_id, notify_handler)
-            return ExportHandle(name=name, buffer=buffer, record=record)
+            handle = ExportHandle(name=name, buffer=buffer, record=record)
+            self._exports[name] = handle
+            return handle
 
         return self.env.process(run(), name=f"vmmc.export.{name}")
 
     def unexport(self, handle: ExportHandle):
-        return self.daemon.unexport(self.process, handle.name)
-
-    def import_buffer(self, remote_node: str, name: str):
-        """Process: import a remote export; value is an
-        :class:`ImportedBuffer` usable as a send destination."""
+        """Process: withdraw an export and revoke reception rights."""
         def run():
-            region = yield self.daemon.import_buffer(
-                self.process, remote_node, name)
-            return ImportedBuffer(remote_node, name, region)
+            yield self.daemon.unexport(self.process, handle.name)
+            handle.revoke()
+            self._exports.pop(handle.name, None)
+
+        return self.env.process(run(), name=f"vmmc.unexport.{handle.name}")
+
+    def export_handles(self) -> list[ExportHandle]:
+        """Live export handles (used by the daemon's cold-boot recovery)."""
+        return list(self._exports.values())
+
+    def import_buffer(self, remote_node: str, name: str,
+                      timeout_ns: Optional[int] = None):
+        """Process: import a remote export; value is an
+        :class:`ImportedBuffer` usable as a send destination.
+
+        ``timeout_ns`` bounds the wait for the exporting daemon
+        (:class:`~repro.vmmc.errors.ImportTimeout` on expiry)."""
+        def run():
+            grant = yield self.daemon.import_buffer(
+                self.process, remote_node, name, timeout_ns=timeout_ns)
+            imported = ImportedBuffer(self, remote_node, name, grant)
+            self._imports.append(imported)
+            return imported
 
         return self.env.process(run(), name=f"vmmc.import.{name}")
 
-    # -- SendMsg ------------------------------------------------------------------
-    def _proxy_address(self, dest: Destination, dest_offset: int) -> int:
-        if isinstance(dest, ImportedBuffer):
-            return dest.address(dest_offset)
-        if isinstance(dest, tuple):
-            imported, base = dest
-            return imported.address(base + dest_offset)
-        return int(dest) + dest_offset
+    def unimport(self, imported: ImportedBuffer):
+        """Process: release an import (mirror of :meth:`unexport`): clear
+        its outgoing page-table entries, return its proxy pages, and mark
+        the handle ``REVOKED`` — subsequent sends raise
+        :class:`~repro.vmmc.errors.ImportStale`, and a fresh
+        :meth:`import_buffer` of the same export yields a fresh region."""
+        def run():
+            if imported.state is LifecycleState.REVOKED:
+                raise VMMCError(
+                    f"{imported.remote_node}:{imported.name} is already "
+                    "unimported")
+            yield self.daemon.unimport(self.process, imported.region)
+            imported._revoke()
+            if imported in self._imports:
+                self._imports.remove(imported)
+            count(self.env, "vmmc.unimports", node=self.node_name)
+            emit(self.env, "vmmc.import.revoked", node=self.node_name,
+                 remote=imported.remote_node, name=imported.name)
 
-    def send(self, src: UserBuffer, dest: Destination, nbytes: int | None = None,
+        return self.env.process(run(), name=f"vmmc.unimport.{imported.name}")
+
+    def reimport(self, imported: ImportedBuffer,
+                 timeout_ns: Optional[int] = None):
+        """Process: re-establish a (typically stale) import.
+
+        Acquires a fresh grant from the exporting daemon (new proxy
+        region, current epoch), releases the old quarantined region, and
+        flips the handle to ``REESTABLISHED`` — existing
+        :class:`ProxyAddress` destinations derived from it become valid
+        again.  Raises ``ImportDenied``/``ImportTimeout`` when the
+        exporter cannot serve (yet); the import stays stale and the call
+        may be retried."""
+        def run():
+            if imported.state is LifecycleState.REVOKED:
+                raise ImportStale(
+                    f"{imported.remote_node}:{imported.name} was revoked; "
+                    "import it afresh with import_buffer()",
+                    remote_node=imported.remote_node, name=imported.name,
+                    state=imported.state.value, epoch=imported.epoch)
+            if imported.usable:
+                # Voluntary re-establishment: tear down the live entries
+                # first so the old region never aliases the new grant.
+                yield self.driver.clear_outgoing_entries(
+                    self.process.pid, imported.region.first_page,
+                    imported.region.npages)
+            old_region = imported.region
+            grant = yield self.daemon.import_buffer(
+                self.process, imported.remote_node, imported.name,
+                timeout_ns=timeout_ns)
+            self.ctx.proxy.release(old_region)
+            imported._rebind(grant)
+            self.reimports += 1
+            count(self.env, "vmmc.reimports", node=self.node_name)
+            emit(self.env, "vmmc.import.reimport", node=self.node_name,
+                 remote=imported.remote_node, name=imported.name,
+                 epoch=grant.epoch)
+            return imported
+
+        return self.env.process(run(), name=f"vmmc.reimport.{imported.name}")
+
+    # -- invalidation fan-in (called by the local daemon) -------------------
+    def invalidate_imports(self, remote_node: Optional[str] = None,
+                           epoch: Optional[int] = None,
+                           reason: str = "invalidated") -> int:
+        """Mark matching live imports ``STALE``: fire their
+        ``on_invalidate`` callbacks and tear down their outgoing
+        page-table entries.  ``remote_node=None`` matches every import
+        (local daemon cold restart); an ``epoch`` guard skips imports
+        already granted at-or-after the invalidating epoch (re-delivered
+        invalidations are idempotent).  Returns the number invalidated."""
+        invalidated = 0
+        for imported in list(self._imports):
+            if not imported.usable:
+                continue
+            if remote_node is not None and \
+                    imported.remote_node != remote_node:
+                continue
+            if epoch is not None and remote_node is not None \
+                    and imported.epoch >= epoch:
+                continue
+            imported._mark_stale(reason, epoch)
+            # Outgoing entries die with the relation; the proxy region is
+            # quarantined (not reused) until reimport()/unimport().
+            self.driver.clear_outgoing_entries(
+                self.process.pid, imported.region.first_page,
+                imported.region.npages)
+            invalidated += 1
+            count(self.env, "vmmc.imports_invalidated",
+                  node=self.node_name)
+            emit(self.env, "vmmc.import.stale", node=self.node_name,
+                 remote=imported.remote_node, name=imported.name,
+                 reason=reason)
+        return invalidated
+
+    # -- SendMsg ------------------------------------------------------------------
+    def _resolve_destination(self, dest: Destination, dest_offset: int
+                             ) -> tuple[int, Optional[ImportedBuffer]]:
+        """Destination → (raw proxy address, originating import or None).
+
+        Typed forms (:class:`ProxyAddress`, :class:`ImportedBuffer`) are
+        staleness-checked; the legacy raw-integer and tuple forms are
+        accepted behind a deprecation shim but cannot fail fast."""
+        if isinstance(dest, ProxyAddress):
+            origin, offset = dest.imported, dest.offset + dest_offset
+        elif isinstance(dest, ImportedBuffer):
+            origin, offset = dest, dest_offset
+        elif isinstance(dest, tuple):
+            warnings.warn(
+                "(ImportedBuffer, offset) tuple destinations are "
+                "deprecated; use imported.at(offset)",
+                DeprecationWarning, stacklevel=4)
+            origin, offset = dest[0], dest[1] + dest_offset
+        else:
+            warnings.warn(
+                "raw integer proxy addresses are deprecated (they cannot "
+                "be checked for staleness); use imported.at(offset)",
+                DeprecationWarning, stacklevel=4)
+            return int(dest) + dest_offset, None
+        # address() raises ImportStale on a non-usable import — the
+        # fail-fast that keeps data out of dangling proxy mappings.
+        return origin.address(offset), origin
+
+    def send(self, src: UserBuffer, dest: Destination,
+             nbytes: int | None = None,
              src_offset: int = 0, dest_offset: int = 0,
              synchronous: bool = True, notify: bool = False):
         """Process: ``SendMsg(srcAddr, destAddr, nbytes)`` (section 2).
@@ -186,20 +473,37 @@ class VMMCEndpoint:
         when the last chunk is in LANai memory and the completion word has
         been observed).  ``synchronous=False`` returns right after
         posting; use :meth:`wait_send` / :meth:`check_send`.
+
+        Raises (all :class:`~repro.vmmc.errors.SendError` subclasses):
+        :class:`~repro.vmmc.errors.InvalidSendError` on malformed
+        arguments, :class:`~repro.vmmc.errors.ImportStale` when ``dest``
+        is an invalidated/revoked import (fail-fast, before any I/O),
+        :class:`~repro.vmmc.errors.CompletionError` when the LANai
+        reports an error completion.
         """
         length = src.nbytes - src_offset if nbytes is None else nbytes
-        proxy_address = self._proxy_address(dest, dest_offset)
         src_vaddr = src.vaddr + src_offset
 
         def run():
             t0 = self.env.now
             if length <= 0:
-                raise SendError(f"invalid send length {length}")
+                raise InvalidSendError(f"invalid send length {length}")
             if length > MAX_MESSAGE_BYTES:
-                raise SendError(
+                raise InvalidSendError(
                     f"send of {length} bytes exceeds the 8 MB limit")
             if src_offset + length > src.nbytes:
-                raise SendError("send runs past the end of the source buffer")
+                raise InvalidSendError(
+                    "send runs past the end of the source buffer")
+            try:
+                proxy_address, origin = self._resolve_destination(
+                    dest, dest_offset)
+            except ImportStale:
+                self.stale_sends_blocked += 1
+                count(self.env, "vmmc.sends_stale_blocked",
+                      node=self.node_name)
+                emit(self.env, "vmmc.send.stale_blocked",
+                     node=self.node_name, pid=self.process.pid)
+                raise
             # Library prologue: argument checks + protocol selection.
             yield self.env.timeout(LIB_SEND_OVERHEAD_NS)
             # Flow control: wait for a free slot (spin on the completion
@@ -247,8 +551,9 @@ class VMMCEndpoint:
                 status = yield completion
                 yield self.membus.cacheline_fill()
                 if status != COMPLETION_DONE:
-                    raise SendError(
-                        f"send failed with completion status {status}")
+                    raise CompletionError(
+                        f"send failed with completion status {status}",
+                        status=status)
             if synchronous:
                 observe(self.env, "vmmc.send.sync_ns", self.env.now - t0,
                         node=self.node_name)
@@ -267,8 +572,9 @@ class VMMCEndpoint:
                                                   COMPLETION_DONE)
             yield self.membus.cacheline_fill()
             if status != COMPLETION_DONE and status is not None:
-                raise SendError(
-                    f"send failed with completion status {status}")
+                raise CompletionError(
+                    f"send failed with completion status {status}",
+                    status=status)
 
         return self.env.process(run(), name="vmmc.wait_send")
 

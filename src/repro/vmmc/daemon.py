@@ -1,4 +1,4 @@
-"""The per-node VMMC daemon (sections 4.1, 4.4).
+"""The per-node VMMC daemon (sections 4.1, 4.4) + cold-restart recovery.
 
 "User programs submit export and import requests to a local VMMC daemon.
 Daemons communicate with each other over Ethernet to match export and
@@ -12,6 +12,32 @@ the incoming page table.  Import: ask the exporting node's daemon for the
 buffer's physical pages (enforcing the exporter's importer restrictions on
 the exporting side), then install outgoing-page-table entries for the
 importing process and hand back a proxy region.
+
+Cold-restart recovery (extension beyond the paper)
+--------------------------------------------------
+The paper assumes daemons stay up; a *warm* restart (:meth:`restart`)
+resumes with the export table intact on the NIC, so established pairs keep
+working.  ``restart(cold=True)`` models the harder failure — the daemon
+loses its export table and the NIC's incoming/outgoing page-table state —
+and drives the recovery protocol:
+
+1. **epoch bump** — every daemon carries a monotonically increasing
+   *epoch*, stamped on all its Ethernet RPCs.  A cold boot increments it.
+2. **local teardown** — incoming entries of every lost export are revoked
+   (pages unlocked) and every local import's outgoing entries are cleared;
+   local :class:`~repro.vmmc.api.ImportedBuffer` s go ``STALE``.
+3. **re-registration** — the user libraries attached to this daemon
+   re-register their surviving :class:`~repro.vmmc.api.ExportHandle` s
+   (new buffer ids; notification arming does *not* survive, mirroring
+   lost signal registrations after a NIC reset).
+4. **invalidate broadcast** — a datagram carrying the new epoch goes to
+   every peer daemon; peers mark proxy regions importing from this node
+   stale, clear their outgoing entries, and fire ``on_invalidate``
+   callbacks.  Because the epoch also rides on ordinary RPCs, a peer that
+   *missed* the broadcast still detects the cold boot on the next message
+   and runs the same invalidation (cf. APENet-style link-error recovery).
+5. **re-import** — stale imports are re-established lazily by
+   ``imported.reimport()`` (the reliable layer does this transparently).
 """
 
 from __future__ import annotations
@@ -20,7 +46,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.sim import Environment, Store
+from repro.sim import AnyOf, Environment, Store
 from repro.sim.trace import emit
 from repro.obs.metrics import count
 from repro.mem.buffers import UserBuffer
@@ -29,7 +55,7 @@ from repro.hostos.ethernet import EthernetNetwork
 from repro.hostos.kernel import Kernel
 from repro.hostos.process import UserProcess
 from repro.vmmc.driver import VMMCDriver
-from repro.vmmc.errors import ExportError, ImportDenied
+from repro.vmmc.errors import ExportError, ImportDenied, ImportTimeout
 from repro.vmmc.proxy import ProxyRegion
 
 #: Local IPC (unix-socket round trip) between library and daemon.
@@ -56,6 +82,19 @@ class ExportRecord:
         return list(self.frames)
 
 
+@dataclass
+class ImportGrant:
+    """What an import RPC yields: the proxy region plus the exporter-side
+    identity (node index, buffer id) and the exporter daemon's *epoch* at
+    grant time — the staleness reference for the invalidation protocol."""
+
+    region: ProxyRegion
+    nbytes: int
+    node_index: int
+    buffer_id: int
+    epoch: int
+
+
 class VMMCDaemon:
     """One daemon per node, addressed ``daemon.<node>`` on the Ethernet."""
 
@@ -74,16 +113,32 @@ class VMMCDaemon:
         self.exports_served = 0
         self.imports_served = 0
         self.imports_denied = 0
+        self.unimports_served = 0
         self._started = False
         self._crashed = False
         self.crashes = 0
         self.requests_dropped_crashed = 0
+        #: Monotone cold-boot counter, stamped on every daemon RPC.
+        self.epoch = 0
+        self.cold_restarts = 0
+        #: Last epoch observed per peer node name.
+        self._peer_epochs: dict[str, int] = {}
+        #: User libraries attached on this node (for invalidation fan-out
+        #: and cold-boot export re-registration).
+        self.endpoints: list = []
+        self.invalidations_rx = 0
+        self.imports_invalidated = 0
+        self.exports_reestablished = 0
 
     def start(self) -> None:
         if self._started:
             raise RuntimeError(f"{self.address} already started")
         self._started = True
         self.env.process(self._serve(), name=f"{self.address}.serve")
+
+    def register_endpoint(self, endpoint) -> None:
+        """Attach a user library instance (called by VMMCEndpoint)."""
+        self.endpoints.append(endpoint)
 
     # -- fault hooks ----------------------------------------------------------
     @property
@@ -100,31 +155,87 @@ class VMMCDaemon:
         count(self.env, "daemon.crashes", node=self.node_name)
         emit(self.env, f"{self.address}.crash")
 
-    def restart(self) -> None:
-        """Bring the daemon back up; its export table is rebuilt from the
-        surviving NIC state, so previously-matched pairs keep working and
-        *new* requests are serviced again."""
+    def restart(self, cold: bool = False) -> None:
+        """Bring the daemon back up.
+
+        *Warm* (default): the export table is rebuilt from the surviving
+        NIC state, so previously-matched pairs keep working and *new*
+        requests are serviced again.
+
+        *Cold* (``cold=True``): the export table and the NIC's
+        incoming/outgoing page-table state are lost.  The daemon bumps its
+        epoch and drives the recovery protocol (module docstring): local
+        teardown, export re-registration from the attached libraries, and
+        an invalidate broadcast that turns peer imports stale.
+        """
         self._crashed = False
         count(self.env, "daemon.restarts", node=self.node_name)
         emit(self.env, f"{self.address}.restart")
+        if not cold:
+            return
+        self.epoch += 1
+        self.cold_restarts += 1
+        lost = self.exports
+        self.exports = {}
+        count(self.env, "daemon.cold_restarts", node=self.node_name)
+        emit(self.env, f"{self.address}.cold_restart", epoch=self.epoch,
+             exports_lost=len(lost))
+        self.env.process(self._cold_boot(lost),
+                         name=f"{self.address}.cold_boot")
+
+    def _cold_boot(self, lost: dict[str, ExportRecord]):
+        """Process: teardown + re-registration + invalidate broadcast."""
+        # 1. Tear down the lost exports' incoming entries and unlock their
+        #    pages; drop notification registrations (new buffer ids will
+        #    not match, and arming does not survive a cold boot).
+        for record in lost.values():
+            yield self.driver.revoke_incoming_entries(record.frames)
+            process = self.driver.process(record.owner_pid)
+            if process is not None:
+                yield self.kernel.unlock_pages(
+                    process.space, record.vaddr, record.nbytes)
+            if record.notify:
+                self.driver.drop_notify_handler(record.owner_pid,
+                                                record.buffer_id)
+        # 2. Outgoing page-table state is gone too: every local import is
+        #    now stale (entries cleared, lifecycle STALE, callbacks fire).
+        for endpoint in self.endpoints:
+            n = endpoint.invalidate_imports(reason="local_cold_restart")
+            self.imports_invalidated += n
+        # 3. Re-register surviving exports from the attached libraries
+        #    (before the broadcast, so peers that re-import immediately
+        #    find the export back in place).
+        for endpoint in self.endpoints:
+            for handle in endpoint.export_handles():
+                if handle.name not in lost:
+                    continue
+                record = yield self._install_export(
+                    endpoint.process, handle.buffer, handle.name,
+                    allowed_importers=handle.record.allowed_importers,
+                    notify=False)
+                handle.reestablish(record)
+                self.exports_reestablished += 1
+                count(self.env, "daemon.exports_reestablished",
+                      node=self.node_name)
+                emit(self.env, f"{self.address}.reexport",
+                     name=handle.name, buffer_id=record.buffer_id)
+        # 4. Broadcast the invalidation (new epoch) to every peer daemon.
+        for peer in self.ether.endpoints():
+            if peer == self.address or not peer.startswith("daemon."):
+                continue
+            yield self.ether.send(
+                self.address, peer,
+                {"op": "invalidate", "src_node": self.node_name,
+                 "epoch": self.epoch},
+                nbytes=64)
+        emit(self.env, f"{self.address}.invalidate_tx", epoch=self.epoch)
 
     # -- local requests (called by the user library) ----------------------------
-    def export(self, process: UserProcess, buffer: UserBuffer, name: str,
-               allowed_importers: Optional[list[str]] = None,
-               notify: bool = False):
-        """Process: export ``buffer`` under ``name``; value is the record.
-
-        The daemon locks the receive buffer's pages in main memory and
-        sets up incoming-page-table entries allowing data reception
-        (section 4.4).
-        """
+    def _install_export(self, process: UserProcess, buffer: UserBuffer,
+                        name: str,
+                        allowed_importers=None, notify: bool = False):
+        """Process: lock pages + install incoming entries + record."""
         def run():
-            yield self.env.timeout(LOCAL_IPC_NS)
-            if name in self.exports:
-                raise ExportError(
-                    f"{self.node_name}: export name {name!r} already in use")
-            if buffer.space is not process.space:
-                raise ExportError("buffer does not belong to the exporter")
             frames = yield self.kernel.lock_pages(
                 process.space, buffer.vaddr, buffer.nbytes)
             record = ExportRecord(
@@ -141,6 +252,29 @@ class VMMCDaemon:
             yield self.driver.install_incoming_entries(
                 frames, process.pid, record.buffer_id, notify)
             self.exports[name] = record
+            return record
+
+        return self.env.process(run(), name=f"{self.address}.install_export")
+
+    def export(self, process: UserProcess, buffer: UserBuffer, name: str,
+               allowed_importers: Optional[list[str]] = None,
+               notify: bool = False):
+        """Process: export ``buffer`` under ``name``; value is the record.
+
+        The daemon locks the receive buffer's pages in main memory and
+        sets up incoming-page-table entries allowing data reception
+        (section 4.4).
+        """
+        def run():
+            yield self.env.timeout(LOCAL_IPC_NS)
+            if name in self.exports:
+                raise ExportError(
+                    f"{self.node_name}: export name {name!r} already in use")
+            if buffer.space is not process.space:
+                raise ExportError("buffer does not belong to the exporter")
+            record = yield self._install_export(
+                process, buffer, name,
+                allowed_importers=allowed_importers, notify=notify)
             self.exports_served += 1
             count(self.env, "daemon.exports", node=self.node_name)
             emit(self.env, "daemon.export", node=self.node_name, name=name,
@@ -164,15 +298,20 @@ class VMMCDaemon:
         return self.env.process(run(), name=f"{self.address}.unexport")
 
     def import_buffer(self, process: UserProcess, remote_node: str,
-                      name: str):
-        """Process: import a remote export; value is a
-        :class:`~repro.vmmc.proxy.ProxyRegion` for the importing process.
+                      name: str, timeout_ns: Optional[int] = None):
+        """Process: import a remote export; value is an
+        :class:`ImportGrant` (proxy region + exporter identity/epoch).
 
         "On an import request, the importing node daemon obtains the
         physical addresses of receive buffer pages from the daemon on the
         exporting node.  Next, the importing node daemon sets up outgoing
         page table entries for the importing process that point to receive
         buffer pages on [the] remote node." (section 4.4)
+
+        ``timeout_ns`` bounds the wait for the exporting daemon's reply;
+        on expiry :class:`~repro.vmmc.errors.ImportTimeout` is raised
+        (the exporting daemon is dead or unreachable).  Without it, the
+        request waits forever — the paper's daemons never crash.
         """
         def run():
             yield self.env.timeout(LOCAL_IPC_NS)
@@ -183,9 +322,25 @@ class VMMCDaemon:
                 self.address, f"daemon.{remote_node}",
                 {"op": "import_req", "seq": seq, "name": name,
                  "importer_node": self.node_name,
-                 "importer_pid": process.pid},
+                 "importer_pid": process.pid,
+                 "src_node": self.node_name, "epoch": self.epoch},
                 nbytes=128)
-            reply = yield reply_box.get()
+            get_reply = reply_box.get()
+            if timeout_ns is None:
+                reply = yield get_reply
+            else:
+                fired = yield AnyOf(self.env,
+                                    [get_reply, self.env.timeout(timeout_ns)])
+                if get_reply not in fired:
+                    del self._pending_replies[seq]
+                    count(self.env, "daemon.import_timeouts",
+                          node=self.node_name)
+                    emit(self.env, f"{self.address}.import_timeout",
+                         remote=remote_node, name=name)
+                    raise ImportTimeout(
+                        f"import of {remote_node}:{name} got no reply "
+                        f"within {timeout_ns} ns")
+                reply = fired[get_reply]
             del self._pending_replies[seq]
             if not reply["ok"]:
                 self.imports_denied += 1
@@ -202,9 +357,57 @@ class VMMCDaemon:
             count(self.env, "daemon.imports", node=self.node_name)
             emit(self.env, "daemon.import", node=self.node_name,
                  remote=remote_node, name=name)
-            return region
+            return ImportGrant(region=region, nbytes=reply["nbytes"],
+                               node_index=node_index,
+                               buffer_id=reply["buffer_id"],
+                               epoch=reply.get("epoch", 0))
 
         return self.env.process(run(), name=f"{self.address}.import")
+
+    def unimport(self, process: UserProcess, region: ProxyRegion):
+        """Process: release an import — clear its outgoing page-table
+        entries and return the proxy pages (mirror of :meth:`unexport`)."""
+        def run():
+            yield self.env.timeout(LOCAL_IPC_NS)
+            yield self.driver.clear_outgoing_entries(
+                process.pid, region.first_page, region.npages)
+            ctx = self.driver.lcp.processes[process.pid]
+            ctx.proxy.release(region)
+            self.unimports_served += 1
+            count(self.env, "daemon.unimports", node=self.node_name)
+            emit(self.env, "daemon.unimport", node=self.node_name,
+                 first_page=region.first_page, npages=region.npages)
+
+        return self.env.process(run(), name=f"{self.address}.unimport")
+
+    # -- epoch tracking / peer invalidation --------------------------------------
+    def _note_peer_epoch(self, src_node: str, epoch: int) -> None:
+        """Epoch carried on a daemon RPC: a jump reveals a peer cold boot
+        even when the invalidate broadcast was lost."""
+        known = self._peer_epochs.get(src_node)
+        if known is None:
+            self._peer_epochs[src_node] = epoch
+        elif epoch > known:
+            self._invalidate_peer(src_node, epoch)
+
+    def _invalidate_peer(self, src_node: str, epoch: int) -> None:
+        """Mark every local import from ``src_node`` (older than ``epoch``)
+        stale: proxy regions keep their pages (quarantined until
+        re-import/unimport) but the outgoing entries are torn down and
+        ``on_invalidate`` callbacks fire."""
+        self._peer_epochs[src_node] = epoch
+        invalidated = 0
+        for endpoint in self.endpoints:
+            invalidated += endpoint.invalidate_imports(
+                remote_node=src_node, epoch=epoch,
+                reason="peer_cold_restart")
+        self.invalidations_rx += 1
+        self.imports_invalidated += invalidated
+        count(self.env, "daemon.invalidations", node=self.node_name)
+        count(self.env, "daemon.imports_invalidated", invalidated,
+              node=self.node_name)
+        emit(self.env, f"{self.address}.invalidate_rx", src=src_node,
+             epoch=epoch, imports=invalidated)
 
     # -- the Ethernet service loop -------------------------------------------------
     def _serve(self):
@@ -220,6 +423,9 @@ class VMMCDaemon:
                 emit(self.env, f"{self.address}.drop_crashed",
                      op=message.get("op"))
                 continue
+            src_node = message.get("src_node")
+            if src_node is not None and "epoch" in message:
+                self._note_peer_epoch(src_node, message["epoch"])
             op = message.get("op")
             if op == "import_req":
                 yield self.env.process(
@@ -228,6 +434,8 @@ class VMMCDaemon:
                 box = self._pending_replies.get(message["seq"])
                 if box is not None:
                     box.put(message)
+            elif op == "invalidate":
+                self._invalidate_peer(message["src_node"], message["epoch"])
             else:
                 emit(self.env, "daemon.unknown_op", op=op)
 
@@ -247,4 +455,6 @@ class VMMCDaemon:
                      "phys_pages": record.phys_pages,
                      "node_index": node_index,
                      "buffer_id": record.buffer_id}
+        reply["src_node"] = self.node_name
+        reply["epoch"] = self.epoch
         yield self.ether.send(self.address, reply_to, reply, nbytes=256)

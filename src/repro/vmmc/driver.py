@@ -65,6 +65,16 @@ class VMMCDriver(DeviceDriver):
                                 handler: Callable[[dict], object]) -> None:
         self._notify_handlers[(pid, buffer_id)] = handler
 
+    def drop_notify_handler(self, pid: int, buffer_id: int) -> None:
+        """Invalidate a notification registration (daemon cold boot: the
+        re-registered export gets a new buffer id, so the old arming can
+        never fire again — drop it rather than leak it)."""
+        self._notify_handlers.pop((pid, buffer_id), None)
+
+    def process(self, pid: int) -> Optional[UserProcess]:
+        """The attached process for ``pid`` (None if never attached)."""
+        return self._processes.get(pid)
+
     # -- interrupt service -----------------------------------------------------
     def handle_irq(self, reason: str, payload: Any):
         if reason == "tlb_miss":
@@ -158,3 +168,16 @@ class VMMCDriver(DeviceDriver):
                                        phys_page)
 
         return self.env.process(run(), name=f"{self.name}.outgoing_setup")
+
+    def clear_outgoing_entries(self, pid: int, first_proxy_page: int,
+                               npages: int):
+        """Process: tear down a proxy region's outgoing entries (unimport /
+        invalidation); subsequent sends through these pages proxy-fault."""
+        ctx = self.lcp.processes[pid]
+
+        def run():
+            yield self.lcp.nic.bus.mmio_write(npages)
+            for i in range(npages):
+                ctx.outgoing.clear_entry(first_proxy_page + i)
+
+        return self.env.process(run(), name=f"{self.name}.outgoing_clear")

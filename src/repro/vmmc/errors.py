@@ -1,4 +1,18 @@
-"""VMMC error types."""
+"""VMMC error types.
+
+The send-side hierarchy is typed (PR 3): every send failure subclasses
+:class:`SendError`, so existing ``except SendError`` call sites keep
+working while new code can discriminate:
+
+* :class:`InvalidSendError` — the library rejected the arguments before
+  any I/O (bad length, source overrun, the 8 MB limit);
+* :class:`CompletionError` — the LANai reported an error completion
+  status (proxy fault, translation fault) for a posted send;
+* :class:`ImportStale` — the destination import is no longer backed by a
+  live export-import relation (peer daemon cold-restarted, or the import
+  was withdrawn); the send fails fast *before* posting, and the caller
+  may re-establish with ``imported.reimport()``.
+"""
 
 from __future__ import annotations
 
@@ -19,12 +33,52 @@ class ImportDenied(VMMCError):
     """
 
 
+class ImportTimeout(ImportDenied):
+    """Import request got no reply within the caller's deadline — the
+    exporting node's daemon is dead or unreachable.  Subclasses
+    :class:`ImportDenied` so callers that retry denials also retry
+    timeouts."""
+
+
 class ProxyFault(VMMCError):
     """Invalid destination proxy address (unmapped or out of bounds)."""
 
 
 class SendError(VMMCError):
-    """Malformed send request (bad length, unmapped source...)."""
+    """A send could not be performed.  Base of the typed send-error
+    hierarchy; catching ``SendError`` catches every subclass below."""
+
+
+class InvalidSendError(SendError):
+    """Malformed send request (bad length, source overrun, >8 MB)."""
+
+
+class CompletionError(SendError):
+    """The LANai wrote an error completion status for a posted send
+    (unmapped proxy page, cross-node span, source translation fault)."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ImportStale(SendError):
+    """The destination import's lifecycle state is not usable.
+
+    Raised *fast* — before the request is posted — when a send targets an
+    :class:`~repro.vmmc.api.ImportedBuffer` whose backing export-import
+    relation has been invalidated (peer daemon cold restart) or revoked
+    (``unimport``).  ``imported.reimport()`` re-establishes a stale
+    import; a revoked one must be imported afresh.
+    """
+
+    def __init__(self, message: str, remote_node: str = "",
+                 name: str = "", state: str = "", epoch: int = 0):
+        super().__init__(message)
+        self.remote_node = remote_node
+        self.name = name
+        self.state = state
+        self.epoch = epoch
 
 
 class RetriesExhausted(VMMCError):

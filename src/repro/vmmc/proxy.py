@@ -48,25 +48,56 @@ class ProxySpace:
         self.npages = npages
         self._cursor = 0
         self._regions: list[ProxyRegion] = []
+        #: Released (first_page, npages) runs, reusable under pressure.
+        self._free: list[tuple[int, int]] = []
 
     def reserve(self, nbytes: int) -> ProxyRegion:
-        """Reserve proxy pages for an ``nbytes`` import."""
+        """Reserve proxy pages for an ``nbytes`` import.
+
+        Virgin pages are preferred (a re-import after an ``unimport`` or
+        invalidation lands on a *fresh* proxy range, so raw addresses into
+        the dead region can never alias the new one); released runs are
+        reused only when the cursor is exhausted.
+        """
         if nbytes <= 0:
             raise ProxyFault("import size must be positive")
         npages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
-        if self._cursor + npages > self.npages:
-            raise ProxyFault(
-                f"proxy space exhausted: need {npages} pages, "
-                f"{self.npages - self._cursor} left "
-                f"(the {self.npages * PAGE_SIZE >> 20} MB import limit)")
-        region = ProxyRegion(self._cursor, npages, nbytes)
-        self._cursor += npages
+        if self._cursor + npages <= self.npages:
+            region = ProxyRegion(self._cursor, npages, nbytes)
+            self._cursor += npages
+        else:
+            region = self._reserve_from_free(npages, nbytes)
         self._regions.append(region)
         return region
 
+    def _reserve_from_free(self, npages: int, nbytes: int) -> ProxyRegion:
+        """First-fit over released runs (only once virgin space is gone)."""
+        for i, (first, run) in enumerate(self._free):
+            if run >= npages:
+                if run == npages:
+                    del self._free[i]
+                else:
+                    self._free[i] = (first + npages, run - npages)
+                return ProxyRegion(first, npages, nbytes)
+        raise ProxyFault(
+            f"proxy space exhausted: need {npages} pages, "
+            f"{self.npages - self.pages_reserved} left "
+            f"(the {self.npages * PAGE_SIZE >> 20} MB import limit)")
+
+    def release(self, region: ProxyRegion) -> None:
+        """Return a region's pages (``unimport`` / re-import teardown)."""
+        if region not in self._regions:
+            raise ProxyFault(f"release of unknown region {region}")
+        self._regions.remove(region)
+        self._free.append((region.first_page, region.npages))
+
     @property
     def pages_reserved(self) -> int:
-        return self._cursor
+        return self._cursor - sum(run for _, run in self._free)
+
+    @property
+    def regions_live(self) -> int:
+        return len(self._regions)
 
     @staticmethod
     def split(proxy_address: int) -> tuple[int, int]:

@@ -56,7 +56,8 @@ from repro.sim.trace import emit
 from repro.obs.metrics import count, observe
 from repro.mem.buffers import UserBuffer
 from repro.vmmc.api import ImportedBuffer, VMMCEndpoint
-from repro.vmmc.errors import RetriesExhausted, VMMCError
+from repro.vmmc.errors import (ImportDenied, ImportStale, RetriesExhausted,
+                               VMMCError)
 
 #: Slot header bytes (seq, length, crc, reserved).
 HEADER_BYTES = 16
@@ -89,12 +90,17 @@ class ReliableStats:
     acks_sent: int = 0
     acks_resent: int = 0
     duplicates_suppressed: int = 0
+    #: Sends blocked because the destination import went stale (a peer
+    #: daemon cold-restarted); each is followed by a transparent reimport.
+    stale_transmits: int = 0
+    #: Successful transparent re-imports of a stale destination.
+    reimports: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {k: getattr(self, k) for k in (
             "messages_sent", "messages_delivered", "retransmits",
             "timeouts", "send_failures", "acks_sent", "acks_resent",
-            "duplicates_suppressed")}
+            "duplicates_suppressed", "stale_transmits", "reimports")}
 
 
 def _u32(value: int) -> bytes:
@@ -104,6 +110,39 @@ def _u32(value: int) -> bytes:
 def _read_u32(buffer: UserBuffer, offset: int) -> int:
     return int(np.frombuffer(buffer.read(offset, 4).tobytes(),
                              dtype=np.uint32)[0])
+
+
+def _reimport_with_backoff(env: Environment, imported: ImportedBuffer,
+                           channel: str, stats: ReliableStats, *,
+                           timeout_ns: int, max_timeout_ns: int,
+                           max_retries: int):
+    """Generator: re-establish a stale import, retrying with exponential
+    backoff while the peer daemon reboots.
+
+    A cold-restarting daemon re-registers its endpoints' exports *during*
+    boot, so the first re-import attempts may be denied (export not yet
+    back) or time out (daemon still dead); both subclass
+    :class:`ImportDenied` and are retried until the budget is spent.
+    """
+    backoff = timeout_ns
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            yield imported.reimport(timeout_ns=backoff)
+        except ImportDenied:
+            if attempts > max_retries:
+                raise RetriesExhausted(
+                    f"{channel}: import of {imported.name!r} not "
+                    f"re-established after {attempts} attempts",
+                    retries=attempts)
+            backoff = min(backoff * 2, max_timeout_ns)
+            continue
+        stats.reimports += 1
+        count(env, "rel.reimports", channel=channel)
+        emit(env, "rel.reimport", channel=channel, name=imported.name,
+             attempts=attempts)
+        return
 
 
 class ReliableSender:
@@ -167,8 +206,36 @@ class ReliableSender:
         self._scratch.write(header, offset=0)
         if data:
             self._scratch.write(data, offset=HEADER_BYTES)
-        yield self.ep.send(self._scratch, self._ring,
-                           HEADER_BYTES + len(data), dest_offset=base)
+        yield self.ep.send(self._scratch, self._ring.at(base),
+                           HEADER_BYTES + len(data))
+
+    def _transmit_recovering(self, seq: int, base: int, data: bytes):
+        """Generator: like :meth:`_transmit`, but when the ring import has
+        gone stale (receiver's daemon cold-restarted) transparently
+        re-import it and replay the slot — the retransmission machinery
+        above us never notices the outage."""
+        attempts = 0
+        while True:
+            try:
+                yield from self._transmit(seq, base, data)
+                return
+            except ImportStale:
+                attempts += 1
+                self.stats.stale_transmits += 1
+                count(self.env, "rel.stale_transmits", channel=self.name)
+                emit(self.env, "rel.transmit.stale", channel=self.name,
+                     seq=seq, attempt=attempts)
+                if attempts > self.max_retries:
+                    self.stats.send_failures += 1
+                    raise RetriesExhausted(
+                        f"{self.name}: seq {seq} kept hitting a stale "
+                        f"ring import after {attempts} recoveries",
+                        seq=seq, retries=attempts)
+                yield from _reimport_with_backoff(
+                    self.env, self._ring, self.name, self.stats,
+                    timeout_ns=self.timeout_ns,
+                    max_timeout_ns=self.max_timeout_ns,
+                    max_retries=self.max_retries)
 
     def send(self, payload: bytes | np.ndarray):
         """Process: deliver ``payload`` reliably; value is its sequence
@@ -194,7 +261,7 @@ class ReliableSender:
                 emit(self.env, "rel.send", channel=self.name, seq=seq,
                      nbytes=len(data))
                 t0 = self.env.now
-                yield from self._transmit(seq, base, data)
+                yield from self._transmit_recovering(seq, base, data)
                 timeout = self.timeout_ns
                 deadline = self.env.now + timeout
                 retries = 0
@@ -222,7 +289,7 @@ class ReliableSender:
                         count(self.env, "rel.retransmits", channel=self.name)
                         emit(self.env, "rel.retransmit", channel=self.name,
                              seq=seq, attempt=retries)
-                        yield from self._transmit(seq, base, data)
+                        yield from self._transmit_recovering(seq, base, data)
                         timeout = min(timeout * 2, self.max_timeout_ns)
                         deadline = self.env.now + timeout
                         continue
@@ -284,13 +351,38 @@ class ReliableReceiver:
         return self._next_seq - 1
 
     def _send_ack(self, seq: int, resend: bool = False):
-        """Generator: remote-write the cumulative ACK into the sender."""
+        """Generator: remote-write the cumulative ACK into the sender.
+
+        If the ACK import went stale (the *sender's* daemon cold-
+        restarted) recover it transparently — a swallowed ACK would only
+        provoke a retransmission, but re-importing here keeps the channel
+        from degenerating into a retransmit storm."""
         self._ack_scratch.write(_u32(seq))
         if resend:
             self.stats.acks_resent += 1
         self.stats.acks_sent += 1
         emit(self.env, "rel.ack", channel=self.name, seq=seq, resend=resend)
-        yield self.ep.send(self._ack_scratch, self._ack_at_sender, 4)
+        attempts = 0
+        while True:
+            try:
+                yield self.ep.send(self._ack_scratch,
+                                   self._ack_at_sender.at(0), 4)
+                return
+            except ImportStale:
+                attempts += 1
+                self.stats.stale_transmits += 1
+                count(self.env, "rel.stale_transmits", channel=self.name)
+                emit(self.env, "rel.transmit.stale", channel=self.name,
+                     seq=seq, attempt=attempts, ack=True)
+                if attempts > DEFAULT_MAX_RETRIES:
+                    raise RetriesExhausted(
+                        f"{self.name}: ACK import kept going stale after "
+                        f"{attempts} recoveries", seq=seq, retries=attempts)
+                yield from _reimport_with_backoff(
+                    self.env, self._ack_at_sender, self.name, self.stats,
+                    timeout_ns=DEFAULT_TIMEOUT_NS,
+                    max_timeout_ns=DEFAULT_MAX_TIMEOUT_NS,
+                    max_retries=DEFAULT_MAX_RETRIES)
 
     def _complete(self, base: int, expected: int) -> Optional[bytes]:
         """The expected slot holds a complete message iff seq matches and
