@@ -112,19 +112,65 @@ def run_baseline_point(error_rate: float, messages: int = 100,
         send_failures=0, elapsed_ns=result["elapsed"])
 
 
+def _attach_probe(tx, probe: dict) -> None:
+    """Wrap the sender's state mutators to record invariant evidence:
+    the RTO's observed min/max, the congestion-window peak, and the
+    in-flight peak.  Purely observational — the wrapped calls delegate to
+    the originals, so the run's behaviour is unchanged."""
+    probe.update(rto_min=tx.rto_ns, rto_max=tx.rto_ns,
+                 cwnd_peak=tx.cwnd, inflight_peak=tx.inflight,
+                 min_rto_ns=tx.min_rto_ns, max_timeout_ns=tx.max_timeout_ns,
+                 nslots=tx.nslots, max_window=tx.max_window)
+    orig_rto, orig_cwnd = tx._set_rto, tx._set_cwnd
+    orig_inflight = tx._set_inflight
+
+    def set_rto(value: int) -> None:
+        orig_rto(value)
+        probe["rto_min"] = min(probe["rto_min"], tx.rto_ns)
+        probe["rto_max"] = max(probe["rto_max"], tx.rto_ns)
+
+    def set_cwnd(value: int, reason: str) -> None:
+        orig_cwnd(value, reason=reason)
+        probe["cwnd_peak"] = max(probe["cwnd_peak"], tx.cwnd)
+
+    def set_inflight(value: int) -> None:
+        orig_inflight(value)
+        probe["inflight_peak"] = max(probe["inflight_peak"], tx.inflight)
+
+    tx._set_rto = set_rto
+    tx._set_cwnd = set_cwnd
+    tx._set_inflight = set_inflight
+
+
 def run_reliable_point(error_rate: float, messages: int = 100,
                        size: int = 1024,
-                       campaign: Optional[FaultCampaign] = None
+                       campaign: Optional[FaultCampaign] = None,
+                       adaptive: bool = True,
+                       pipelined: Optional[bool] = None,
+                       probe: Optional[dict] = None,
+                       stats_out: Optional[dict] = None
                        ) -> tuple[ChaosPoint, Optional[FaultStats]]:
     """Reliable-VMMC transfer over the same lossy fabric, optionally with
     a fault campaign running concurrently.  Returns the measurement point
-    and the campaign's :class:`FaultStats` (None without a campaign)."""
+    and the campaign's :class:`FaultStats` (None without a campaign).
+
+    ``adaptive`` selects the congestion-controlled sender (default) or
+    the static stop-and-wait baseline; ``pipelined`` issues every send up
+    front so the AIMD window can keep several slots in flight (defaults
+    to ``adaptive`` — the static sender serialises either way).  Pass a
+    dict as ``probe`` to collect invariant evidence (RTO min/max, cwnd
+    peak) and as ``stats_out`` to receive the raw tx/rx stat dicts."""
+    if pipelined is None:
+        pipelined = adaptive
     cluster = _two_node_cluster(error_rate)
     env = cluster.env
     _, ep_tx = cluster.nodes[0].attach_process("chaos_tx")
     _, ep_rx = cluster.nodes[1].attach_process("chaos_rx")
     tx, rx = env.run(until=open_channel(
-        ep_tx, ep_rx, "chaos", slot_bytes=HEADER_BYTES + size))
+        ep_tx, ep_rx, "chaos", slot_bytes=HEADER_BYTES + size,
+        adaptive=adaptive))
+    if probe is not None:
+        _attach_probe(tx, probe)
 
     fault_stats: Optional[FaultStats] = None
     if campaign is not None:
@@ -141,10 +187,18 @@ def run_reliable_point(error_rate: float, messages: int = 100,
             got.append(payload)
         result["got"] = got
         result["end"] = env.now
+        # Stay posted: if the final ACK is lost, only a live recv() can
+        # re-ACK the sender's retransmission of the last message.
+        rx.recv()
 
     def sender():
-        for i in range(messages):
-            yield tx.send(_pattern(i, size))
+        if pipelined:
+            sends = [tx.send(_pattern(i, size)) for i in range(messages)]
+            for proc in sends:
+                yield proc
+        else:
+            for i in range(messages):
+                yield tx.send(_pattern(i, size))
 
     start = env.now
     rx_proc = env.process(receiver())
@@ -155,8 +209,13 @@ def run_reliable_point(error_rate: float, messages: int = 100,
     got = result["got"]
     intact = sum(1 for i, g in enumerate(got) if g == _pattern(i, size))
     elapsed = int(result["end"]) - start
+    if stats_out is not None:
+        stats_out["tx"] = tx.stats.as_dict()
+        stats_out["rx"] = rx.stats.as_dict()
     return ChaosPoint(
-        error_rate=error_rate, mode="reliable", messages=messages,
+        error_rate=error_rate,
+        mode="adaptive" if adaptive else "static",
+        messages=messages,
         size=size, delivered_intact=intact,
         crc_drops=(cluster.nodes[0].lcp.crc_drops
                    + cluster.nodes[1].lcp.crc_drops),
@@ -184,16 +243,90 @@ def data_path_links() -> list[str]:
     return ["node0->sw0", "sw0->node1", "node1->sw0", "sw0->node0"]
 
 
-def run_campaign_point(seed: int, messages: int = 60, size: int = 1024
+def run_campaign_point(seed: int, messages: int = 60, size: int = 1024,
+                       adaptive: bool = True
                        ) -> tuple[ChaosPoint, FaultStats]:
     """Reliable traffic on a *clean* fabric with seeded error bursts
     injected mid-run — the determinism fixture: two calls with the same
     seed must return identical FaultStats and retransmit counts."""
     campaign = burst_campaign(data_path_links(), seed=seed)
     point, stats = run_reliable_point(0.0, messages=messages, size=size,
-                                      campaign=campaign)
+                                      campaign=campaign, adaptive=adaptive)
     assert stats is not None
     return point, stats
+
+
+def run_error_burst_trial(seed: int, messages: int = 60, size: int = 1024,
+                          adaptive: bool = True) -> dict:
+    """One fully-instrumented error-burst run: seeded bursts on the data
+    path, a probe on the sender's adaptive state, and the raw stat dicts.
+    Returns a deterministic, JSON-serialisable report — two calls with
+    the same arguments must produce *identical* reports (the CI
+    seed-sweep gate re-runs every seed and diffs)."""
+    probe: dict = {}
+    stats_out: dict = {}
+    campaign = burst_campaign(data_path_links(), seed=seed)
+    point, fault_stats = run_reliable_point(
+        0.0, messages=messages, size=size, campaign=campaign,
+        adaptive=adaptive, probe=probe, stats_out=stats_out)
+    assert fault_stats is not None
+    return {
+        "seed": seed,
+        "mode": point.mode,
+        "messages": messages,
+        "size": size,
+        "delivered_intact": point.delivered_intact,
+        "crc_drops": point.crc_drops,
+        "retransmits": point.retransmits,
+        "send_failures": point.send_failures,
+        "elapsed_ns": point.elapsed_ns,
+        "goodput_mbps": round(point.goodput_mbps, 6),
+        "probe": dict(sorted(probe.items())),
+        "tx_stats": stats_out["tx"],
+        "rx_stats": stats_out["rx"],
+        "fault_stats": fault_stats.as_dict(),
+    }
+
+
+def check_trial_invariants(report: dict) -> list[str]:
+    """Protocol invariants a :func:`run_error_burst_trial` report must
+    satisfy; returns human-readable violation strings (empty == pass).
+    Mirrors the property harness in ``tests/test_reliable_properties.py``
+    so the CI seed sweep and the test suite enforce the same contract."""
+    violations: list[str] = []
+    tx = report["tx_stats"]
+    if report["delivered_intact"] != report["messages"]:
+        violations.append(
+            f"delivery: {report['delivered_intact']}/{report['messages']} "
+            f"payloads intact")
+    if report["send_failures"]:
+        violations.append(
+            f"delivery: {report['send_failures']} send failures")
+    if report["mode"] == "adaptive":
+        probe = report["probe"]
+        if probe["rto_min"] < probe["min_rto_ns"]:
+            violations.append(
+                f"rto: observed min {probe['rto_min']} below floor "
+                f"{probe['min_rto_ns']}")
+        if probe["rto_max"] > probe["max_timeout_ns"]:
+            violations.append(
+                f"rto: observed max {probe['rto_max']} above ceiling "
+                f"{probe['max_timeout_ns']}")
+        if probe["cwnd_peak"] > probe["nslots"]:
+            violations.append(
+                f"cwnd: peak {probe['cwnd_peak']} exceeds ring of "
+                f"{probe['nslots']} slots")
+        if probe["inflight_peak"] > probe["nslots"]:
+            violations.append(
+                f"inflight: peak {probe['inflight_peak']} exceeds ring "
+                f"of {probe['nslots']} slots")
+        karn = tx["rtt_samples"] + tx["retransmitted_deliveries"]
+        if karn != tx["messages_delivered"]:
+            violations.append(
+                f"karn: rtt_samples {tx['rtt_samples']} + retransmitted "
+                f"deliveries {tx['retransmitted_deliveries']} != "
+                f"{tx['messages_delivered']} delivered")
+    return violations
 
 
 def cold_crash_campaign(seed: int, start_ns: int = 0,
@@ -214,7 +347,8 @@ def cold_crash_campaign(seed: int, start_ns: int = 0,
     return FaultCampaign.of(f"cold_crash.seed{seed}", events, seed=seed)
 
 
-def run_cold_crash_point(seed: int, messages: int = 200, size: int = 1024
+def run_cold_crash_point(seed: int, messages: int = 200, size: int = 1024,
+                         adaptive: bool = True
                          ) -> tuple[ChaosPoint, FaultStats, dict]:
     """Reliable transfer while both daemons cold-crash mid-stream.
 
@@ -230,7 +364,8 @@ def run_cold_crash_point(seed: int, messages: int = 200, size: int = 1024
     _, ep_tx = cluster.nodes[0].attach_process("chaos_tx")
     _, ep_rx = cluster.nodes[1].attach_process("chaos_rx")
     tx, rx = env.run(until=open_channel(
-        ep_tx, ep_rx, "chaos", slot_bytes=HEADER_BYTES + size))
+        ep_tx, ep_rx, "chaos", slot_bytes=HEADER_BYTES + size,
+        adaptive=adaptive))
 
     campaign = cold_crash_campaign(seed, start_ns=env.now)
     injector = FaultInjector(cluster)
@@ -245,10 +380,18 @@ def run_cold_crash_point(seed: int, messages: int = 200, size: int = 1024
             got.append(payload)
         result["got"] = got
         result["end"] = env.now
+        # Stay posted: if the final ACK is lost, only a live recv() can
+        # re-ACK the sender's retransmission of the last message.
+        rx.recv()
 
     def sender():
-        for i in range(messages):
-            yield tx.send(_pattern(i, size))
+        if adaptive:
+            sends = [tx.send(_pattern(i, size)) for i in range(messages)]
+            for proc in sends:
+                yield proc
+        else:
+            for i in range(messages):
+                yield tx.send(_pattern(i, size))
 
     start = env.now
     rx_proc = env.process(receiver())
@@ -261,7 +404,8 @@ def run_cold_crash_point(seed: int, messages: int = 200, size: int = 1024
     intact = sum(1 for i, g in enumerate(got) if g == _pattern(i, size))
     elapsed = int(result["end"]) - start
     point = ChaosPoint(
-        error_rate=0.0, mode="reliable", messages=messages, size=size,
+        error_rate=0.0, mode="adaptive" if adaptive else "static",
+        messages=messages, size=size,
         delivered_intact=intact,
         crc_drops=(cluster.nodes[0].lcp.crc_drops
                    + cluster.nodes[1].lcp.crc_drops),

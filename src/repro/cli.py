@@ -169,6 +169,8 @@ def cmd_chaos(args) -> int:
 
     if args.scenario == "daemon-cold-crash":
         return _chaos_cold_crash(args, run_cold_crash_point)
+    if args.scenario == "error-burst":
+        return _chaos_error_burst(args)
 
     rows = []
     for rate in args.rates:
@@ -196,6 +198,81 @@ def cmd_chaos(args) -> int:
           f"{point.duplicates_suppressed} duplicates suppressed "
           "(rerun with the same seed for identical numbers)")
     return 0
+
+
+def _chaos_error_burst(args) -> int:
+    """``chaos --scenario error-burst``: sweep campaign seeds 0..N-1,
+    running the *adaptive* and *static* reliable senders under identical
+    seeded error bursts.  Gates (any failure exits 1):
+
+    * protocol invariants per run (exactly-once delivery, RTO within its
+      configured bounds, cwnd/in-flight never above the ring, Karn's
+      accounting) via :func:`repro.bench.chaos.check_trial_invariants`;
+    * determinism — every seed is run twice and the full reports must be
+      byte-identical.
+
+    ``--report FILE`` writes the static-vs-adaptive goodput table and
+    every per-seed report as JSON (the CI artifact)."""
+    import json
+
+    from repro.bench.chaos import check_trial_invariants, run_error_burst_trial
+
+    seeds = list(range(args.seeds))
+    rows = []
+    reports = []
+    violations: list[str] = []
+    nondeterministic: list[int] = []
+    for seed in seeds:
+        per_mode = {}
+        for adaptive in (False, True):
+            trial = run_error_burst_trial(
+                seed, messages=args.messages, size=args.size,
+                adaptive=adaptive)
+            rerun = run_error_burst_trial(
+                seed, messages=args.messages, size=args.size,
+                adaptive=adaptive)
+            if json.dumps(trial, sort_keys=True) != \
+                    json.dumps(rerun, sort_keys=True):
+                nondeterministic.append(seed)
+            for v in check_trial_invariants(trial):
+                violations.append(f"seed {seed} [{trial['mode']}]: {v}")
+            per_mode[trial["mode"]] = trial
+            reports.append(trial)
+        static, adaptive_ = per_mode["static"], per_mode["adaptive"]
+        rows.append([seed,
+                     f"{adaptive_['delivered_intact']}/{args.messages}",
+                     static["retransmits"], adaptive_["retransmits"],
+                     f"{static['goodput_mbps']:.1f}",
+                     f"{adaptive_['goodput_mbps']:.1f}",
+                     f"{adaptive_['goodput_mbps'] / static['goodput_mbps']:.2f}x"
+                     if static["goodput_mbps"] else "-"])
+    print(format_table(
+        f"Error-burst seed sweep: {args.messages} x {args.size}B messages, "
+        "static vs adaptive reliable sender under identical burst campaigns",
+        ["seed", "intact", "retx static", "retx adaptive",
+         "static MB/s", "adaptive MB/s", "speedup"], rows))
+    for line in violations:
+        print(f"INVARIANT VIOLATION: {line}")
+    for seed in nondeterministic:
+        print(f"NONDETERMINISM: seed {seed} produced different stats "
+              "on re-run")
+    ok = not violations and not nondeterministic
+    print(f"{len(seeds)} seeds x 2 modes x 2 runs: "
+          + ("PASS" if ok else "FAIL"))
+    if args.report:
+        report = {
+            "scenario": "error-burst",
+            "seeds": seeds,
+            "messages": args.messages,
+            "size": args.size,
+            "violations": violations,
+            "nondeterministic_seeds": nondeterministic,
+            "trials": reports,
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
 
 
 def _chaos_cold_crash(args, run_cold_crash_point) -> int:
@@ -339,11 +416,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--messages", type=int, default=60)
     chaos.add_argument("--size", type=int, default=1024)
     chaos.add_argument("--seed", type=int, default=7)
-    chaos.add_argument("--scenario", choices=["sweep", "daemon-cold-crash"],
+    chaos.add_argument("--seeds", type=int, default=10, metavar="N",
+                       help="error-burst scenario: sweep campaign seeds "
+                            "0..N-1 (default 10)")
+    chaos.add_argument("--scenario",
+                       choices=["sweep", "daemon-cold-crash", "error-burst"],
                        default="sweep",
                        help="'sweep' = lossy-link comparison (default); "
                             "'daemon-cold-crash' = reliable traffic across "
-                            "cold daemon restarts (recovery protocol)")
+                            "cold daemon restarts (recovery protocol); "
+                            "'error-burst' = static-vs-adaptive seed sweep "
+                            "under burst campaigns, with protocol-invariant "
+                            "and determinism gates")
     chaos.add_argument("--report", metavar="FILE",
                        help="write a JSON report of the scenario run")
     chaos.set_defaults(func=cmd_chaos)

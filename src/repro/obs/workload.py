@@ -82,6 +82,15 @@ def run_contract_workload() -> tuple[Tracer, MetricsRegistry]:
         yield recv
         yield driving
 
+        # -- paced aftermath ---------------------------------------------
+        # The storm's timeouts left retransmit pressure behind; the next
+        # back-to-back sends are stretched by the pacer (`rel.pace`) while
+        # clean ACKs drain the pressure and regrow the window.
+        for payload in (b"paced one", b"paced two"):
+            recv = receiver.recv()
+            yield sender.send(payload)
+            yield recv
+
         # -- hardware fault sweep with traffic in flight ------------------
         t0 = env.now
         sweep = FaultCampaign.of("obs_sweep", [

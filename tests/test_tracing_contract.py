@@ -104,6 +104,79 @@ def test_every_recorded_metric_documented(workload):
         f"metrics recorded but absent from docs/TRACING.md: {missing}")
 
 
+# ----------------------------------------- adaptive reliable golden trace
+ADAPTIVE_CATEGORIES = ("rel.rtt.sample", "rel.cwnd", "rel.pace")
+ADAPTIVE_GAUGES = ("rel.srtt_ns", "rel.rttvar_ns", "rel.rto_ns",
+                   "rel.cwnd", "rel.inflight")
+
+
+def test_workload_exercises_adaptive_reliable_layer(workload):
+    """The contract workload drives the congestion-controlled channel
+    hard enough that every adaptive trace point and gauge fires — the
+    golden-trace floor for the rel.* observability surface."""
+    tracer, registry = workload
+    emitted = {canonical_category(c) for c in tracer.categories()}
+    for category in ADAPTIVE_CATEGORIES:
+        assert category in emitted, f"{category} never emitted"
+    for gauge in ADAPTIVE_GAUGES:
+        assert gauge in registry.names(), f"{gauge} never recorded"
+    # The AIMD window moved in *both* directions during the storm.
+    reasons = {r.payload.get("reason") for r in tracer
+               if canonical_category(r.category) == "rel.cwnd"}
+    assert reasons >= {"grow", "cut"}
+    # Every RTT sample carries the full estimator state, integer-ns.
+    samples = [r for r in tracer
+               if canonical_category(r.category) == "rel.rtt.sample"]
+    assert samples
+    for record in samples:
+        for key in ("rtt_ns", "srtt_ns", "rttvar_ns", "rto_ns"):
+            assert isinstance(record.payload[key], int), key
+            assert record.payload[key] > 0
+
+
+def test_adaptive_categories_round_trip_perfetto(workload, tmp_path):
+    """The rel.* adaptive events survive the Perfetto export byte-intact:
+    canonical names, full payloads in ``args``, nothing dropped."""
+    import json
+
+    from repro.obs.perfetto import export_chrome_trace
+
+    tracer, _ = workload
+    path = tmp_path / "contract.json"
+    document = export_chrome_trace(tracer, path=path)
+    assert document["otherData"]["records"] == len(tracer)
+
+    by_name: dict[str, list] = {}
+    for event in document["traceEvents"]:
+        if event.get("ph") == "M":
+            continue
+        by_name.setdefault(event["name"], []).append(event)
+    for category in ADAPTIVE_CATEGORIES:
+        assert by_name.get(category), f"{category} lost in export"
+    for event in by_name["rel.rtt.sample"]:
+        assert {"channel", "seq", "rtt_ns", "srtt_ns",
+                "rttvar_ns", "rto_ns"} <= set(event["args"])
+    for event in by_name["rel.cwnd"]:
+        assert event["args"]["reason"] in ("grow", "cut")
+        assert event["args"]["cwnd"] >= 1
+    for event in by_name["rel.pace"]:
+        assert event["args"]["wait_ns"] > 0
+        assert event["args"]["pressure"] >= 1
+    # The on-disk document is the same object we inspected.
+    assert json.loads(path.read_text())["otherData"]["records"] \
+        == len(tracer)
+
+
+def test_trace_check_docs_cli_passes(capsys):
+    """``repro trace --check-docs`` exits 0: the emitted surface and
+    docs/TRACING.md agree (this is the command CI runs)."""
+    from repro.cli import main
+
+    assert main(["trace", "--check-docs"]) == 0
+    out = capsys.readouterr().out
+    assert "all emitted trace categories are documented" in out
+
+
 def test_contract_workload_is_deterministic(workload):
     from repro.obs.workload import run_contract_workload
 

@@ -186,6 +186,223 @@ def test_slot_bytes_must_exceed_header():
         ReliableReceiver(ep, "bad", slot_bytes=HEADER_BYTES)
 
 
+# ------------------------------------------------- adaptive machinery
+def test_rto_estimator_seeds_from_first_clean_rtt():
+    """Jacobson/Karels bootstrap: the first measured round trip seeds
+    SRTT directly and RTTVAR at half of it (RFC 6298 style), and every
+    subsequent clean ACK feeds the filter; the RTO never leaves the
+    configured ``[min_rto_ns, max_timeout_ns]`` band."""
+    cluster, tx, rx = channel_pair()
+    env = cluster.env
+    sent = payloads(8, size=256)
+    got = []
+
+    def receiver():
+        for _ in sent:
+            got.append((yield rx.recv()))
+
+    rx_proc = env.process(receiver())
+
+    def sender():
+        assert tx.srtt_ns is None            # unseeded before traffic
+        yield tx.send(sent[0])
+        assert tx.stats.rtt_samples == 1
+        assert tx.srtt_ns is not None and tx.srtt_ns > 0
+        assert tx.rttvar_ns == tx.srtt_ns // 2
+        for p in sent[1:]:
+            yield tx.send(p)
+
+    env.run(until=env.process(sender()))
+    env.run(until=rx_proc)
+    env.run(until=env.now + 1_000_000)
+    assert got == sent
+    assert tx.stats.rtt_samples == len(sent)   # every ACK was clean
+    assert tx.min_rto_ns <= tx.rto_ns <= tx.max_timeout_ns
+    assert tx.stats.cwnd_max > 1               # the window actually grew
+    assert tx.stats.cwnd_max <= tx.nslots
+
+
+def test_karn_rule_excludes_retransmitted_rtts():
+    """Karn's rule: a message that was retransmitted contributes *no*
+    RTT sample — the estimator state is bit-identical before and after
+    its delivery — and sampling resumes on the next clean exchange."""
+    cluster, tx, rx = channel_pair(timeout_ns=60_000)
+    env = cluster.env
+    link = cluster.fabric.find_link("node0->sw0")   # data path only
+    got = []
+
+    def receiver():
+        for _ in range(3):
+            got.append((yield rx.recv()))
+        rx.recv()   # keep listening: the last ACK may need a re-ACK
+
+    rx_proc = env.process(receiver())
+
+    def sender():
+        yield tx.send(b"clean seed")         # seeds the estimator
+        assert tx.stats.rtt_samples == 1
+        seeded = (tx.srtt_ns, tx.rttvar_ns)
+        link.set_error_rate(1.0)             # every data frame dies
+
+        def heal():
+            yield env.timeout(200_000)       # well past the first RTO
+            link.set_error_rate(0.0)
+
+        env.process(heal())
+        yield tx.send(b"retransmitted")      # delivered only via retry
+        assert tx.stats.retransmits > 0
+        assert tx.stats.retransmitted_deliveries == 1
+        # Karn: no sample was taken, the filter state did not move.
+        assert tx.stats.rtt_samples == 1
+        assert (tx.srtt_ns, tx.rttvar_ns) == seeded
+        yield tx.send(b"clean again")        # sampling resumes
+        assert tx.stats.rtt_samples == 2
+
+    env.run(until=env.process(sender()))
+    env.run(until=rx_proc)
+    env.run(until=env.now + 1_000_000)
+    assert got == [b"clean seed", b"retransmitted", b"clean again"]
+    stats = tx.stats
+    assert stats.rtt_samples + stats.retransmitted_deliveries \
+        == stats.messages_delivered
+
+
+def test_timeout_cuts_window_and_doubles_rto_within_bounds():
+    """A timeout is the only RTO growth path (doubling) and cuts the
+    AIMD window multiplicatively — but both stay inside their bounds
+    even when the link is dead long enough to back off repeatedly."""
+    cluster, tx, rx = channel_pair(timeout_ns=30_000,
+                                   max_timeout_ns=300_000)
+    env = cluster.env
+    link = cluster.fabric.find_link("node0->sw0")
+    got = []
+
+    def receiver():
+        for _ in range(4):
+            got.append((yield rx.recv()))
+        rx.recv()
+
+    rx_proc = env.process(receiver())
+
+    def sender():
+        for i in range(2):                  # grow the window a little
+            yield tx.send(bytes([i]) * 64)
+        link.set_error_rate(1.0)
+
+        def heal():
+            yield env.timeout(400_000)      # > several doubled RTOs
+            link.set_error_rate(0.0)
+
+        env.process(heal())
+        yield tx.send(b"x" * 64)
+        assert tx.stats.timeouts > 0
+        assert tx.stats.cwnd_cuts >= 1
+        # Backoff saturated at the cap instead of blowing through it.
+        assert tx.rto_ns <= tx.max_timeout_ns
+        assert tx.cwnd >= 1
+        yield tx.send(b"y" * 64)
+
+    env.run(until=env.process(sender()))
+    env.run(until=rx_proc)
+    env.run(until=env.now + 1_000_000)
+    assert len(got) == 4
+    assert tx.stats.send_failures == 0
+
+
+# ------------------------------------------------------------ static mode
+def test_static_mode_is_stop_and_wait():
+    """``adaptive=False`` keeps the original policy: never more than one
+    message in flight, no RTT samples, no window dynamics, no pacing —
+    yet still byte-exact under loss."""
+    cluster, tx, rx = channel_pair(error_rate=0.1, adaptive=False)
+    env = cluster.env
+    sent = payloads(20, size=256)
+    got = []
+    peak = {"inflight": 0}
+    orig_set_inflight = tx._set_inflight
+
+    def probe(value):
+        orig_set_inflight(value)
+        peak["inflight"] = max(peak["inflight"], tx.inflight)
+
+    tx._set_inflight = probe
+
+    def receiver():
+        for _ in sent:
+            got.append((yield rx.recv()))
+        rx.recv()
+
+    rx_proc = env.process(receiver())
+
+    def sender():
+        for p in sent:
+            yield tx.send(p)
+
+    env.process(sender())
+    env.run(until=rx_proc)
+    env.run(until=env.now + 1_000_000)
+    assert got == sent
+    assert tx.stats.retransmits > 0          # the loss was real
+    assert peak["inflight"] <= 1             # stop-and-wait, literally
+    assert tx.stats.rtt_samples == 0         # estimator never engaged
+    assert tx.stats.cwnd_cuts == 0
+    assert tx.stats.paced_ns == 0
+    assert tx.stats.retransmitted_deliveries == 0
+
+
+# --------------------------------------------- cold-restart timeout plumb
+def test_receiver_reimport_uses_configured_timeout(monkeypatch):
+    """Regression: the receiver's ACK-path recovery used to hardcode
+    ``DEFAULT_TIMEOUT_NS``; the channel's configured ``timeout_ns`` /
+    ``max_timeout_ns`` must reach ``_reimport_with_backoff`` on *both*
+    ends."""
+    from repro.vmmc import reliable as rel_mod
+
+    cluster, tx, rx = channel_pair(timeout_ns=40_000,
+                                   max_timeout_ns=800_000)
+    env = cluster.env
+    calls = []
+    real = rel_mod._reimport_with_backoff
+
+    def recording(env_, imported, name, stats, **kwargs):
+        calls.append({"receiver_side": stats is rx.stats, **kwargs})
+        return (yield from real(env_, imported, name, stats, **kwargs))
+
+    monkeypatch.setattr(rel_mod, "_reimport_with_backoff", recording)
+
+    sent = payloads(6, size=128)
+    got = []
+
+    def receiver():
+        for _ in sent:
+            got.append((yield rx.recv()))
+        rx.recv()
+
+    rx_proc = env.process(receiver())
+
+    def sender():
+        for i, p in enumerate(sent):
+            if i == 3:
+                # Cold-crash the *sender's* daemon mid-stream: the
+                # receiver's import of the ACK word goes stale and its
+                # recovery path must use the configured timeouts.
+                cluster.nodes[0].daemon.restart(cold=True)
+            yield tx.send(p)
+
+    env.process(sender())
+    env.run(until=rx_proc)
+    env.run(until=env.now + 5_000_000)
+
+    assert got == sent
+    receiver_calls = [c for c in calls if c["receiver_side"]]
+    assert receiver_calls, "cold crash never drove the receiver reimport"
+    for call in calls:
+        assert call["timeout_ns"] == 40_000
+        assert call["timeout_ns"] != rel_mod.DEFAULT_TIMEOUT_NS
+        assert call["max_timeout_ns"] == 800_000
+    assert rx.stats.reimports > 0
+
+
 def test_stats_as_dict_roundtrip():
     cluster, tx, rx = channel_pair()
     env = cluster.env
