@@ -23,8 +23,10 @@ import numpy as np
 from repro.sim import Environment
 from repro.cluster import Cluster, TestbedConfig
 from repro.hw.myrinet.link import LinkParams
-from repro.faults import (DAEMON_COLD_CRASH, FaultCampaign, FaultEvent,
-                          FaultInjector, FaultStats)
+from repro.faults import (CampaignSet, DAEMON_COLD_CRASH, DAEMON_CRASH,
+                          FaultCampaign, FaultEvent, FaultInjector,
+                          FaultStats, LANAI_STALL, LINK_DOWN,
+                          LINK_ERROR_BURST)
 from repro.vmmc.reliable import HEADER_BYTES, open_channel
 
 #: Settle time after the last send before the delivered count is read:
@@ -176,7 +178,10 @@ def run_reliable_point(error_rate: float, messages: int = 100,
     if campaign is not None:
         injector = FaultInjector(cluster)
         injector.run(campaign)
-        fault_stats = injector.stats
+        # Per-campaign map, not `injector.stats`: the latter is only the
+        # most recently *started* campaign and is clobbered when several
+        # campaigns share one injector.
+        fault_stats = injector.stats_by_campaign[campaign.name]
 
     result: dict[str, object] = {}
 
@@ -329,6 +334,238 @@ def check_trial_invariants(report: dict) -> list[str]:
     return violations
 
 
+# -- multi-campaign orchestration ------------------------------------------
+def parse_campaign_spec(spec: str, *, default_seed: int = 0
+                        ) -> FaultCampaign:
+    """Build a :class:`FaultCampaign` from a CLI spec string.
+
+    Format: ``builder[:key=value[,key=value...]]``.  Builders (all
+    deterministic — every random choice comes from ``seed``):
+
+    =============  =========================================================
+    ``bursts``     clustered link error bursts on the node0↔node1 data path
+                   (``seed``, ``nbursts``, ``rate``, ``burst_ns``,
+                   ``start_ns``, ``window_ns``)
+    ``flap``       link down/up cycles (``target`` link name, ``seed``,
+                   ``count``, ``down_ns``, ``gap_ns``, ``start_ns``)
+    ``stall``      LANai clock stops (``node``, ``seed``, ``count``,
+                   ``stall_ns``, ``gap_ns``, ``start_ns``)
+    ``crash``      one daemon crash window (``node``, ``at_ns``,
+                   ``dur_ns``, ``cold`` ∈ 0/1)
+    ``cold-crash`` the recovery-protocol schedule of
+                   :func:`cold_crash_campaign` (``seed``)
+    =============  =========================================================
+
+    Every builder accepts ``name=`` to override the derived campaign name
+    (names must be unique within one ``--campaign`` set).
+    """
+    builder, _, rest = spec.partition(":")
+    builder = builder.strip()
+    kw: dict[str, str] = {}
+    if rest:
+        for item in rest.split(","):
+            if not item:
+                continue
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise ValueError(
+                    f"bad campaign spec item {item!r} in {spec!r} "
+                    "(want key=value)")
+            kw[key.strip()] = value.strip()
+    seed = int(kw.pop("seed", default_seed))
+    name = kw.pop("name", None)
+
+    def leftover():
+        if kw:
+            raise ValueError(
+                f"unknown key(s) {sorted(kw)} for campaign builder "
+                f"{builder!r}")
+
+    if builder == "bursts":
+        nbursts = int(kw.pop("nbursts", 3))
+        rate = float(kw.pop("rate", 0.4))
+        burst_ns = int(kw.pop("burst_ns", 300_000))
+        start_ns = int(kw.pop("start_ns", 20_000))
+        window_ns = int(kw.pop("window_ns", 3_000_000))
+        leftover()
+        return FaultCampaign.random_link_bursts(
+            data_path_links(), seed=seed, nbursts=nbursts, rate=rate,
+            start_ns=start_ns, window_ns=window_ns, burst_ns=burst_ns,
+            name=name or f"bursts.seed{seed}")
+    if builder == "flap":
+        target = kw.pop("target", "sw0->node1")
+        count = int(kw.pop("count", 2))
+        down_ns = int(kw.pop("down_ns", 150_000))
+        gap_ns = int(kw.pop("gap_ns", 1_200_000))
+        start_ns = int(kw.pop("start_ns", 200_000))
+        leftover()
+        rng = np.random.default_rng(seed)
+        events = [FaultEvent(
+            at_ns=start_ns + i * gap_ns + int(rng.integers(0, gap_ns // 4)),
+            kind=LINK_DOWN, target=target, duration_ns=down_ns)
+            for i in range(count)]
+        return FaultCampaign.of(name or f"flap.seed{seed}", events,
+                                seed=seed)
+    if builder == "stall":
+        node = kw.pop("node", "node1")
+        count = int(kw.pop("count", 2))
+        stall_ns = int(kw.pop("stall_ns", 120_000))
+        gap_ns = int(kw.pop("gap_ns", 1_000_000))
+        start_ns = int(kw.pop("start_ns", 400_000))
+        leftover()
+        rng = np.random.default_rng(seed)
+        events = [FaultEvent(
+            at_ns=start_ns + i * gap_ns + int(rng.integers(0, gap_ns // 4)),
+            kind=LANAI_STALL, target=node, duration_ns=stall_ns)
+            for i in range(count)]
+        return FaultCampaign.of(name or f"stall.seed{seed}", events,
+                                seed=seed)
+    if builder == "crash":
+        node = kw.pop("node", "node1")
+        at_ns = int(kw.pop("at_ns", 500_000))
+        dur_ns = int(kw.pop("dur_ns", 400_000))
+        cold = kw.pop("cold", "0") not in ("0", "false", "no")
+        leftover()
+        kind = DAEMON_COLD_CRASH if cold else DAEMON_CRASH
+        events = [FaultEvent(at_ns=at_ns, kind=kind, target=node,
+                             duration_ns=dur_ns)]
+        return FaultCampaign.of(
+            name or f"{'cold-' if cold else ''}crash.{node}.seed{seed}",
+            events, seed=seed)
+    if builder == "cold-crash":
+        leftover()
+        campaign = cold_crash_campaign(seed)
+        if name:
+            campaign = FaultCampaign(name=name, events=campaign.events,
+                                     seed=seed)
+        return campaign
+    raise ValueError(
+        f"unknown campaign builder {builder!r} "
+        "(want bursts, flap, stall, crash or cold-crash)")
+
+
+def default_multi_campaigns(seed: int) -> list[FaultCampaign]:
+    """The canonical concurrent-chaos set: two burst campaigns whose
+    schedules include *guaranteed-overlapping* bursts on one data-path
+    link (exercising the error-rate stack), plus a LANai-stall campaign
+    on both nodes.  Deterministic per ``seed``."""
+    links = data_path_links()
+    a = FaultCampaign.of(
+        f"bursts-a.seed{seed}",
+        list(burst_campaign(links, seed=seed).events) + [
+            FaultEvent(at_ns=100_000, kind=LINK_ERROR_BURST,
+                       target="sw0->node1", duration_ns=300_000,
+                       params={"rate": 0.5})],
+        seed=seed)
+    b = FaultCampaign.of(
+        f"bursts-b.seed{seed + 1}",
+        list(burst_campaign(links, seed=seed + 1).events) + [
+            FaultEvent(at_ns=250_000, kind=LINK_ERROR_BURST,
+                       target="sw0->node1", duration_ns=300_000,
+                       params={"rate": 0.3})],
+        seed=seed + 1)
+    stalls = FaultCampaign.of(
+        f"stalls.seed{seed}",
+        [FaultEvent(at_ns=500_000, kind=LANAI_STALL, target="node1",
+                    duration_ns=120_000),
+         FaultEvent(at_ns=1_500_000, kind=LANAI_STALL, target="node0",
+                    duration_ns=120_000)],
+        seed=seed)
+    return [a, b, stalls]
+
+
+def run_multi_campaign_trial(seed: int, messages: int = 60,
+                             size: int = 1024,
+                             campaigns: Optional[list[FaultCampaign]] = None,
+                             policy: str = "serialize",
+                             adaptive: bool = True) -> dict:
+    """Reliable traffic on a clean fabric while a whole
+    :class:`CampaignSet` runs **concurrently** — the multi-campaign
+    acceptance fixture.  Returns a deterministic, JSON-serialisable
+    report: two calls with the same arguments must be byte-identical
+    (the CI multi-campaign gate re-runs and diffs).
+
+    The report carries the merged cross-campaign
+    :class:`~repro.faults.MergedFaultStats` (overlapped intervals
+    counted once per target), every per-campaign sub-stat, and any
+    conflict-guard decisions.
+    """
+    cluster = _two_node_cluster(0.0)
+    env = cluster.env
+    _, ep_tx = cluster.nodes[0].attach_process("chaos_tx")
+    _, ep_rx = cluster.nodes[1].attach_process("chaos_rx")
+    tx, rx = env.run(until=open_channel(
+        ep_tx, ep_rx, "chaos", slot_bytes=HEADER_BYTES + size,
+        adaptive=adaptive))
+
+    # Campaigns are authored relative to t=0; shift them to the workload
+    # start so their relative timing (and the overlaps we are testing)
+    # survives the channel-setup time.
+    cset = CampaignSet.of(
+        [c.shifted(env.now)
+         for c in (campaigns or default_multi_campaigns(seed))],
+        policy=policy)
+    _, conflicts = cset.resolve()   # deterministic; re-done by run_all
+    injector = FaultInjector(cluster)
+    set_done = injector.run_all(cset)
+
+    result: dict[str, object] = {}
+
+    def receiver():
+        got = []
+        for _ in range(messages):
+            payload = yield rx.recv()
+            got.append(payload)
+        result["got"] = got
+        result["end"] = env.now
+        # Stay posted: if the final ACK is lost, only a live recv() can
+        # re-ACK the sender's retransmission of the last message.
+        rx.recv()
+
+    def sender():
+        if adaptive:
+            sends = [tx.send(_pattern(i, size)) for i in range(messages)]
+            for proc in sends:
+                yield proc
+        else:
+            for i in range(messages):
+                yield tx.send(_pattern(i, size))
+
+    start = env.now
+    rx_proc = env.process(receiver())
+    env.process(sender())
+    env.run(until=rx_proc)
+    merged = env.run(until=set_done)
+    env.run(until=env.now + DRAIN_NS)
+
+    got = result["got"]
+    intact = sum(1 for i, g in enumerate(got) if g == _pattern(i, size))
+    elapsed = int(result["end"]) - start
+    goodput = (intact * size) / (elapsed / 1e3) if elapsed > 0 else 0.0
+    return {
+        "seed": seed,
+        "policy": policy,
+        "mode": "adaptive" if adaptive else "static",
+        "messages": messages,
+        "size": size,
+        "campaigns": [c.name for c in cset],
+        "conflicts": [c.as_dict() for c in conflicts],
+        "delivered_intact": intact,
+        "crc_drops": (cluster.nodes[0].lcp.crc_drops
+                      + cluster.nodes[1].lcp.crc_drops),
+        "retransmits": tx.stats.retransmits,
+        "duplicates_suppressed": rx.stats.duplicates_suppressed,
+        "send_failures": tx.stats.send_failures,
+        "elapsed_ns": elapsed,
+        "goodput_mbps": round(goodput, 6),
+        "merged_fault_stats": merged.as_dict(),
+        "per_campaign": {
+            name: stats.as_dict()
+            for name, stats in sorted(
+                injector.stats_by_campaign.items())},
+    }
+
+
 def cold_crash_campaign(seed: int, start_ns: int = 0,
                         gap_ns: int = 4_000_000) -> FaultCampaign:
     """Cold daemon crashes for the recovery protocol: first the
@@ -370,6 +607,7 @@ def run_cold_crash_point(seed: int, messages: int = 200, size: int = 1024,
     campaign = cold_crash_campaign(seed, start_ns=env.now)
     injector = FaultInjector(cluster)
     campaign_done = injector.run(campaign)
+    fault_stats = injector.stats_by_campaign[campaign.name]
 
     result: dict[str, object] = {}
 
@@ -429,4 +667,4 @@ def run_cold_crash_point(seed: int, messages: int = 200, size: int = 1024,
         "stale_writes_blocked":
             sum(node.lcp.protection_violations for node in cluster.nodes),
     }
-    return point, injector.stats, recovery
+    return point, fault_stats, recovery

@@ -171,6 +171,8 @@ def cmd_chaos(args) -> int:
         return _chaos_cold_crash(args, run_cold_crash_point)
     if args.scenario == "error-burst":
         return _chaos_error_burst(args)
+    if args.scenario == "multi-campaign" or args.campaign:
+        return _chaos_multi(args)
 
     rows = []
     for rate in args.rates:
@@ -271,6 +273,86 @@ def _chaos_error_burst(args) -> int:
         }
         with open(args.report, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
+
+
+def _chaos_multi(args) -> int:
+    """``chaos --scenario multi-campaign`` (or any ``--campaign`` flag):
+    drive several seeded fault campaigns **concurrently** against one
+    cluster while reliable traffic runs.  Campaigns come from repeatable
+    ``--campaign builder[:key=val,...]`` specs
+    (:func:`repro.bench.chaos.parse_campaign_spec`) or default to the
+    canonical overlapping set.  Gates (any failure exits 1):
+
+    * exactly-once delivery of every payload despite the compound faults;
+    * determinism — the whole trial is re-run and the full reports
+      (merged + per-campaign FaultStats, conflict decisions, protocol
+      counters) must be byte-identical.
+
+    ``--report FILE`` writes the JSON report (the CI artifact)."""
+    import json
+
+    from repro.bench.chaos import (default_multi_campaigns,
+                                   parse_campaign_spec,
+                                   run_multi_campaign_trial)
+    from repro.faults import CampaignConflictError
+
+    try:
+        campaigns = ([parse_campaign_spec(spec, default_seed=args.seed + i)
+                      for i, spec in enumerate(args.campaign)]
+                     if args.campaign
+                     else default_multi_campaigns(args.seed))
+        trial = run_multi_campaign_trial(
+            args.seed, messages=args.messages, size=args.size,
+            campaigns=campaigns, policy=args.policy)
+        rerun = run_multi_campaign_trial(
+            args.seed, messages=args.messages, size=args.size,
+            campaigns=campaigns, policy=args.policy)
+    except CampaignConflictError as exc:
+        print(f"CONFLICT (policy={args.policy}): {exc}")
+        return 1
+    deterministic = (json.dumps(trial, sort_keys=True)
+                     == json.dumps(rerun, sort_keys=True))
+
+    merged = trial["merged_fault_stats"]
+    rows = []
+    for sub in merged["campaigns"]:
+        rows.append([sub["campaign"], sub["seed"], sub["faults_raised"],
+                     sub["faults_cleared"],
+                     sum(sub["fault_ns_by_target"].values())])
+    rows.append(["MERGED (overlaps once)", "-", merged["faults_raised"],
+                 merged["faults_cleared"],
+                 sum(merged["fault_ns_by_target"].values())])
+    print(format_table(
+        f"Concurrent campaigns ({len(trial['campaigns'])}), "
+        f"{args.messages} x {args.size}B reliable messages "
+        f"(policy={args.policy})",
+        ["campaign", "seed", "raised", "cleared", "fault ns"], rows))
+    overlap = sum(merged["overlap_ns_by_target"].values())
+    print(f"overlapped fault time deduplicated in merge: {overlap} ns")
+    for conflict in trial["conflicts"]:
+        print(f"conflict: {conflict['campaign']}/{conflict['kind']}"
+              f"@{conflict['at_ns']} on {conflict['target']} "
+              f"{conflict['action']}"
+              + (f" -> {conflict['resolved_at_ns']}"
+                 if conflict["resolved_at_ns"] is not None else ""))
+    delivered_ok = (trial["delivered_intact"] == trial["messages"]
+                    and trial["send_failures"] == 0)
+    print(f"delivered {trial['delivered_intact']}/{trial['messages']} "
+          f"intact, {trial['retransmits']} retransmits, "
+          f"{trial['goodput_mbps']:.1f} MB/s goodput")
+    if not deterministic:
+        print("NONDETERMINISM: re-run produced a different report")
+    ok = delivered_ok and deterministic
+    print("concurrent-campaign chaos (delivery + determinism): "
+          + ("PASS" if ok else "FAIL"))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump({"scenario": "multi-campaign",
+                       "deterministic": deterministic,
+                       "exactly_once": delivered_ok,
+                       "trial": trial}, fh, indent=2, sort_keys=True)
         print(f"report written to {args.report}")
     return 0 if ok else 1
 
@@ -420,14 +502,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="error-burst scenario: sweep campaign seeds "
                             "0..N-1 (default 10)")
     chaos.add_argument("--scenario",
-                       choices=["sweep", "daemon-cold-crash", "error-burst"],
+                       choices=["sweep", "daemon-cold-crash", "error-burst",
+                                "multi-campaign"],
                        default="sweep",
                        help="'sweep' = lossy-link comparison (default); "
                             "'daemon-cold-crash' = reliable traffic across "
                             "cold daemon restarts (recovery protocol); "
                             "'error-burst' = static-vs-adaptive seed sweep "
                             "under burst campaigns, with protocol-invariant "
-                            "and determinism gates")
+                            "and determinism gates; "
+                            "'multi-campaign' = several seeded campaigns "
+                            "driven concurrently on one cluster "
+                            "(overlapping faults stack; merged FaultStats "
+                            "count overlaps once; delivery + determinism "
+                            "gates)")
+    chaos.add_argument("--campaign", metavar="SPEC", action="append",
+                       default=[],
+                       help="repeatable: add a campaign to the "
+                            "multi-campaign scenario, as "
+                            "builder[:key=val,...] with builder in "
+                            "{bursts, flap, stall, crash, cold-crash} "
+                            "(e.g. --campaign bursts:seed=3 "
+                            "--campaign flap:target=sw0->node1); "
+                            "implies --scenario multi-campaign; "
+                            "default: the canonical overlapping set")
+    chaos.add_argument("--policy", choices=["serialize", "reject"],
+                       default="serialize",
+                       help="multi-campaign conflict-guard policy for "
+                            "semantically incompatible overlapping raises "
+                            "(warm vs cold crash on one node): shift the "
+                            "loser after the winner's clear, or refuse "
+                            "the schedule (default: serialize)")
     chaos.add_argument("--report", metavar="FILE",
                        help="write a JSON report of the scenario run")
     chaos.set_defaults(func=cmd_chaos)

@@ -10,10 +10,16 @@ deterministic chaos harness over the simulated cluster:
   LANai stalls, daemon crash+restart.
 * :class:`FaultInjector` — runs a campaign as simulation processes against
   a booted :class:`~repro.cluster.cluster.Cluster`, emitting
-  ``fault.<kind>.raise`` / ``fault.<kind>.clear`` trace points.
+  ``fault.<kind>.raise`` / ``fault.<kind>.clear`` trace points; its
+  :meth:`~FaultInjector.run_all` drives a whole :class:`CampaignSet`
+  **concurrently** (overlapping raises stack in the hardware hooks, a
+  conflict guard serializes or rejects incompatible ones
+  deterministically).
 * :class:`FaultStats` — aggregate counters queryable after the run; equal
   across reruns of the same (campaign, workload) pair, which is what makes
-  the chaos experiments debuggable.
+  the chaos experiments debuggable.  :meth:`FaultStats.merge` folds
+  several campaigns' stats into one :class:`MergedFaultStats` whose
+  per-target fault time counts overlapped intervals once.
 
 Used by ``python -m repro chaos`` and
 ``benchmarks/bench_chaos_reliability.py`` to prove that
@@ -31,7 +37,14 @@ from repro.faults.campaign import (
     LANAI_STALL,
     LINK_DOWN,
     LINK_ERROR_BURST,
+    MergedFaultStats,
     SWITCH_PORT_DOWN,
+    union_ns,
+)
+from repro.faults.orchestrator import (
+    CampaignConflictError,
+    CampaignSet,
+    Conflict,
 )
 from repro.faults.injector import FaultInjector
 
@@ -39,6 +52,9 @@ __all__ = [
     "DAEMON_COLD_CRASH",
     "DAEMON_CRASH",
     "FAULT_KINDS",
+    "CampaignConflictError",
+    "CampaignSet",
+    "Conflict",
     "FaultCampaign",
     "FaultEvent",
     "FaultInjector",
@@ -46,5 +62,7 @@ __all__ = [
     "LANAI_STALL",
     "LINK_DOWN",
     "LINK_ERROR_BURST",
+    "MergedFaultStats",
     "SWITCH_PORT_DOWN",
+    "union_ns",
 ]

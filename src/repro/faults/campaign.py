@@ -17,6 +17,7 @@ keep.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -89,6 +90,16 @@ class FaultEvent:
         if self.kind == LINK_ERROR_BURST and "rate" not in self.params:
             raise ValueError("link_error_burst requires params['rate']")
 
+    @property
+    def sort_key(self) -> tuple:
+        """A **total** ordering key: ``(at_ns, kind, target)`` ties are
+        broken by duration (permanent faults last) and a canonical params
+        repr, so same-seed campaigns sort bit-identically regardless of
+        the order the events were constructed in."""
+        return (self.at_ns, self.kind, self.target,
+                self.duration_ns is None, self.duration_ns or 0,
+                repr(sorted(self.params.items(), key=lambda kv: kv[0])))
+
 
 @dataclass(frozen=True)
 class FaultCampaign:
@@ -101,8 +112,7 @@ class FaultCampaign:
     def __post_init__(self) -> None:
         object.__setattr__(self, "events",
                            tuple(sorted(self.events,
-                                        key=lambda e: (e.at_ns, e.kind,
-                                                       e.target))))
+                                        key=lambda e: e.sort_key)))
 
     def __len__(self) -> int:
         return len(self.events)
@@ -119,6 +129,19 @@ class FaultCampaign:
             end = event.at_ns + (event.duration_ns or 0)
             horizon = max(horizon, end)
         return horizon
+
+    def shifted(self, offset_ns: int) -> "FaultCampaign":
+        """A copy with every event delayed by ``offset_ns`` — campaigns
+        are authored relative to t=0 and shifted to the workload's start
+        time at run time (events scheduled in the past would otherwise
+        all fire immediately, collapsing their relative timing)."""
+        if offset_ns == 0:
+            return self
+        return FaultCampaign(
+            name=self.name,
+            events=tuple(dataclasses.replace(e, at_ns=e.at_ns + offset_ns)
+                         for e in self.events),
+            seed=self.seed)
 
     # -- builders -------------------------------------------------------------
     @classmethod
@@ -149,6 +172,25 @@ class FaultCampaign:
         return cls(name=name, events=tuple(events), seed=seed)
 
 
+def union_ns(intervals: Iterable[tuple[int, int]]) -> int:
+    """Total length of the union of half-open ``(start, end)`` intervals —
+    overlapping stretches are counted **once**.  Used by
+    :meth:`FaultStats.merge` so a target double-faulted by two campaigns
+    is not charged twice for the overlap."""
+    total = 0
+    cur_start = cur_end = None
+    for start, end in sorted(intervals):
+        if cur_end is None or start > cur_end:
+            if cur_end is not None:
+                total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    if cur_end is not None:
+        total += cur_end - cur_start
+    return total
+
+
 @dataclass
 class FaultStats:
     """Aggregate counters filled in by the injector, queryable after a run.
@@ -165,22 +207,80 @@ class FaultStats:
     faults_cleared: int = 0
     #: kind → number of raises.
     by_kind: dict[str, int] = field(default_factory=dict)
-    #: target → total ns spent faulted (permanent faults: until run end is
-    #: unknowable, so they contribute only once cleared — i.e. never).
+    #: target → total ns spent faulted.  Cleared faults are charged their
+    #: raise-to-clear span; **permanent** faults (``duration_ns=None``)
+    #: are charged ``now - raised_at`` when :meth:`finalize` is called at
+    #: run end (the injector finalizes at campaign completion; callers may
+    #: re-finalize later to extend the charge to the true end of the
+    #: measurement window).
     fault_ns_by_target: dict[str, int] = field(default_factory=dict)
+    #: target → list of (raised_at, charged_until) fault intervals, in
+    #: clear order; the raw material for :meth:`merge`'s overlap-once
+    #: accounting.  Open (permanent) faults appear after finalize().
+    intervals_by_target: dict[str, list[tuple[int, int]]] = \
+        field(default_factory=dict)
     #: (kind, target, at_ns) log of raises, in raise order.
     log: list[tuple[str, str, int]] = field(default_factory=list)
+    #: Clock value of the last finalize() (None: never finalized).
+    finalized_at: Optional[int] = None
+    #: Still-open raises: mutable [kind, target, raised_at,
+    #: charged_interval-or-None] entries (internal bookkeeping).
+    _open: list[list] = field(default_factory=list, repr=False,
+                              compare=False)
 
     def record_raise(self, event: FaultEvent, now: int) -> None:
         self.faults_raised += 1
         self.by_kind[event.kind] = self.by_kind.get(event.kind, 0) + 1
         self.log.append((event.kind, event.target, now))
+        self._open.append([event.kind, event.target, now, None])
+
+    def _pop_open(self, kind: str, target: str, raised_at: int):
+        for i, entry in enumerate(self._open):
+            if entry[0] == kind and entry[1] == target \
+                    and entry[2] == raised_at:
+                return self._open.pop(i)
+        return None
+
+    def _charge(self, target: str, raised_at: int, until: int,
+                prev: Optional[tuple[int, int]]) -> tuple[int, int]:
+        """Extend ``target``'s fault interval ``(raised_at, …)`` to
+        ``until``, charging only the not-yet-charged span."""
+        already = (prev[1] - prev[0]) if prev else 0
+        self.fault_ns_by_target[target] = \
+            self.fault_ns_by_target.get(target, 0) \
+            + (until - raised_at) - already
+        intervals = self.intervals_by_target.setdefault(target, [])
+        interval = (raised_at, until)
+        if prev is None:
+            intervals.append(interval)
+        else:
+            intervals[intervals.index(prev)] = interval
+        return interval
 
     def record_clear(self, event: FaultEvent, raised_at: int,
                      now: int) -> None:
         self.faults_cleared += 1
-        self.fault_ns_by_target[event.target] = \
-            self.fault_ns_by_target.get(event.target, 0) + (now - raised_at)
+        entry = self._pop_open(event.kind, event.target, raised_at)
+        self._charge(event.target, raised_at, now,
+                     entry[3] if entry else None)
+
+    def finalize(self, now: int) -> "FaultStats":
+        """Charge every still-open (permanent) fault up to ``now`` —
+        without this, permanent faults would never appear in
+        ``fault_ns_by_target`` and merged goodput-vs-fault-time tables
+        would be skewed.  Idempotent and extendable: calling again with a
+        later clock re-charges only the new span."""
+        for entry in self._open:
+            kind, target, raised_at, prev = entry
+            until = max(now, prev[1] if prev else raised_at)
+            entry[3] = self._charge(target, raised_at, until, prev)
+        self.finalized_at = now
+        return self
+
+    @property
+    def open_faults(self) -> int:
+        """Faults raised and never cleared (permanent, or still active)."""
+        return len(self._open)
 
     def as_dict(self) -> dict[str, Any]:
         """Canonical, comparable form (determinism assertions)."""
@@ -189,8 +289,97 @@ class FaultStats:
             "seed": self.seed,
             "faults_raised": self.faults_raised,
             "faults_cleared": self.faults_cleared,
+            "open_faults": self.open_faults,
+            "finalized_at": self.finalized_at,
             "by_kind": dict(sorted(self.by_kind.items())),
             "fault_ns_by_target":
                 dict(sorted(self.fault_ns_by_target.items())),
+            "intervals_by_target":
+                {target: list(intervals) for target, intervals
+                 in sorted(self.intervals_by_target.items())},
+            "log": list(self.log),
+        }
+
+    @staticmethod
+    def merge(parts: Iterable["FaultStats"]) -> "MergedFaultStats":
+        """Canonical cross-campaign aggregate of several campaigns' stats.
+
+        Per-campaign sub-stats are preserved untouched (sorted by
+        ``(campaign, seed)``); counters and ``by_kind`` are summed; the
+        merged ``fault_ns_by_target`` is the **union** of every
+        campaign's fault intervals per target, so a stretch of time in
+        which two campaigns both held the same target faulted is counted
+        once (``overlap_ns_by_target`` reports the double-covered time
+        that was deduplicated).  Campaign names must be unique.
+        """
+        ordered = tuple(sorted(parts, key=lambda s: (s.campaign, s.seed)))
+        names = [s.campaign for s in ordered]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate campaign names in merge: {names}")
+        by_kind: dict[str, int] = {}
+        intervals: dict[str, list[tuple[int, int]]] = {}
+        for stats in ordered:
+            for kind, n in stats.by_kind.items():
+                by_kind[kind] = by_kind.get(kind, 0) + n
+            for target, spans in stats.intervals_by_target.items():
+                intervals.setdefault(target, []).extend(spans)
+        fault_ns = {target: union_ns(spans)
+                    for target, spans in intervals.items()}
+        overlap = {
+            target: sum(end - start for start, end in spans)
+            - fault_ns[target]
+            for target, spans in intervals.items()}
+        log = sorted(
+            ((at, stats.campaign, kind, target)
+             for stats in ordered
+             for kind, target, at in stats.log))
+        return MergedFaultStats(
+            campaigns=ordered,
+            faults_raised=sum(s.faults_raised for s in ordered),
+            faults_cleared=sum(s.faults_cleared for s in ordered),
+            by_kind=by_kind,
+            fault_ns_by_target=fault_ns,
+            overlap_ns_by_target=overlap,
+            log=log)
+
+
+@dataclass(frozen=True)
+class MergedFaultStats:
+    """Cross-campaign aggregate produced by :meth:`FaultStats.merge`.
+
+    ``fault_ns_by_target`` counts overlapped intervals **once** per
+    target; ``overlap_ns_by_target`` is the deduplicated double-coverage
+    (sum-of-spans minus union), i.e. how long ≥2 campaigns held the same
+    target simultaneously.  The per-campaign :class:`FaultStats` survive
+    untouched in ``campaigns``.
+    """
+
+    campaigns: tuple[FaultStats, ...]
+    faults_raised: int
+    faults_cleared: int
+    by_kind: dict[str, int]
+    fault_ns_by_target: dict[str, int]
+    overlap_ns_by_target: dict[str, int]
+    #: (at_ns, campaign, kind, target) raises across all campaigns,
+    #: sorted — a single reproducible timeline.
+    log: list[tuple[int, str, str, str]]
+
+    def stats_for(self, campaign: str) -> FaultStats:
+        for stats in self.campaigns:
+            if stats.campaign == campaign:
+                return stats
+        raise KeyError(f"no campaign named {campaign!r} in merge")
+
+    def as_dict(self) -> dict[str, Any]:
+        """Canonical, comparable form (determinism assertions)."""
+        return {
+            "campaigns": [s.as_dict() for s in self.campaigns],
+            "faults_raised": self.faults_raised,
+            "faults_cleared": self.faults_cleared,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "fault_ns_by_target":
+                dict(sorted(self.fault_ns_by_target.items())),
+            "overlap_ns_by_target":
+                dict(sorted(self.overlap_ns_by_target.items())),
             "log": list(self.log),
         }

@@ -1,4 +1,4 @@
-"""The fault injector: drives a campaign against a booted cluster.
+"""The fault injector: drives campaigns against a booted cluster.
 
 One simulation process per scheduled :class:`FaultEvent` sleeps until the
 event's time, applies the fault through the hardware/daemon hooks, emits a
@@ -15,11 +15,21 @@ The injector touches only public fault hooks:
 
 so it composes with any workload that runs on the same cluster — the chaos
 benchmark runs VMMC traffic while the injector pulls cables out.
+
+Campaigns compose too: :meth:`FaultInjector.run_all` drives a whole
+:class:`~repro.faults.orchestrator.CampaignSet` concurrently.  Overlapping
+raises on one target stack in the hardware hooks (down-depth counters,
+error-rate stacks, crash nesting — the target stays faulted until the
+*last* clear), incompatible raises are serialized or rejected by the
+set's conflict guard before anything runs, and the per-campaign
+:class:`FaultStats` are preserved in :attr:`FaultInjector.stats_by_campaign`
+while the ``run_all`` process's value is the canonical
+:class:`~repro.faults.campaign.MergedFaultStats` aggregate.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 from repro.sim import Environment, Process
 from repro.sim.trace import emit
@@ -30,11 +40,13 @@ from repro.faults.campaign import (
     FaultCampaign,
     FaultEvent,
     FaultStats,
+    MergedFaultStats,
     LANAI_STALL,
     LINK_DOWN,
     LINK_ERROR_BURST,
     SWITCH_PORT_DOWN,
 )
+from repro.faults.orchestrator import CampaignSet
 
 
 class FaultInjector:
@@ -43,19 +55,30 @@ class FaultInjector:
     def __init__(self, cluster):
         self.cluster = cluster
         self.env: Environment = cluster.env
+        #: Stats of the most recently *started* campaign.  With several
+        #: campaigns in flight this reference moves — use
+        #: :attr:`stats_by_campaign` (or the run process's value) for
+        #: anything multi-campaign.
         self.stats: Optional[FaultStats] = None
+        #: campaign name → its :class:`FaultStats`; one entry per
+        #: :meth:`run` call, never clobbered by later campaigns.
+        self.stats_by_campaign: dict[str, FaultStats] = {}
+        #: The last :meth:`run_all` aggregate (set when it completes).
+        self.merged_stats: Optional[MergedFaultStats] = None
 
     # -- target resolution ---------------------------------------------------
     def _node(self, name: str):
         return self.cluster.node(name)
 
-    def _apply(self, event: FaultEvent) -> None:
-        """Raise one fault (instantaneous state flip)."""
+    def _apply(self, event: FaultEvent):
+        """Raise one fault (instantaneous state flip).  Returns an opaque
+        handle that :meth:`_clear` needs to release exactly this raise
+        (e.g. the link error-rate stack token)."""
         fabric = self.cluster.fabric
         if event.kind == LINK_ERROR_BURST:
-            fabric.find_link(event.target).set_error_rate(
+            return fabric.find_link(event.target).set_error_rate(
                 float(event.params["rate"]))
-        elif event.kind == LINK_DOWN:
+        if event.kind == LINK_DOWN:
             fabric.find_link(event.target).set_down()
         elif event.kind == SWITCH_PORT_DOWN:
             switch_name, port = event.target.rsplit(":", 1)
@@ -66,12 +89,13 @@ class FaultInjector:
             self._node(event.target).daemon.crash()
         else:  # pragma: no cover - FaultEvent validates kinds
             raise ValueError(f"unknown fault kind {event.kind!r}")
+        return None
 
-    def _clear(self, event: FaultEvent) -> None:
+    def _clear(self, event: FaultEvent, handle=None) -> None:
         """Clear one fault (inverse state flip)."""
         fabric = self.cluster.fabric
         if event.kind == LINK_ERROR_BURST:
-            fabric.find_link(event.target).clear_error_rate()
+            fabric.find_link(event.target).clear_error_rate(handle)
         elif event.kind == LINK_DOWN:
             fabric.find_link(event.target).set_up()
         elif event.kind == SWITCH_PORT_DOWN:
@@ -88,30 +112,39 @@ class FaultInjector:
     def run(self, campaign: FaultCampaign) -> Process:
         """Process: drive the whole campaign; value is its
         :class:`FaultStats`.  One child process per event, so overlapping
-        faults on different targets proceed independently."""
+        faults on different targets proceed independently.
+
+        The campaign's stats live in ``stats_by_campaign[campaign.name]``
+        from the moment this returns; at campaign end they are
+        :meth:`~FaultStats.finalize` d so permanent faults are charged up
+        to the campaign's completion time (re-finalize with a later clock
+        to extend the charge to a longer measurement window)."""
         stats = FaultStats(campaign=campaign.name, seed=campaign.seed)
         self.stats = stats
+        self.stats_by_campaign[campaign.name] = stats
+        count(self.env, "faults.campaigns")
 
         def drive_one(event: FaultEvent):
             delay = event.at_ns - self.env.now
             if delay > 0:
                 yield self.env.timeout(delay)
             raised_at = self.env.now
-            self._apply(event)
+            handle = self._apply(event)
             stats.record_raise(event, raised_at)
             count(self.env, "faults.raised", kind=event.kind)
             emit(self.env, f"fault.{event.kind}.raise",
                  target=event.target, duration_ns=event.duration_ns,
-                 **event.params)
+                 campaign=campaign.name, **event.params)
             if event.duration_ns is None and event.kind != LANAI_STALL:
                 return  # permanent fault — never cleared
             yield self.env.timeout(event.duration_ns)
-            self._clear(event)
+            self._clear(event, handle)
             stats.record_clear(event, raised_at, self.env.now)
             count(self.env, "faults.cleared", kind=event.kind)
             observe(self.env, "faults.duration_ns",
                     self.env.now - raised_at, kind=event.kind)
-            emit(self.env, f"fault.{event.kind}.clear", target=event.target)
+            emit(self.env, f"fault.{event.kind}.clear",
+                 target=event.target, campaign=campaign.name)
 
         def drive_all():
             children = [
@@ -121,7 +154,45 @@ class FaultInjector:
             ]
             for child in children:
                 yield child
+            stats.finalize(self.env.now)
             return stats
 
         return self.env.process(drive_all(),
                                 name=f"faults.campaign.{campaign.name}")
+
+    def run_all(self,
+                campaigns: Union[CampaignSet, Iterable[FaultCampaign]],
+                policy: str = "serialize") -> Process:
+        """Process: drive several campaigns **concurrently**; value is the
+        canonical :class:`MergedFaultStats` aggregate (also stored in
+        :attr:`merged_stats` at completion).
+
+        ``campaigns`` is a :class:`CampaignSet` or any iterable of
+        campaigns (wrapped with the given conflict ``policy``).  The
+        set's conflict guard runs *before* anything is scheduled:
+        serialized shifts are emitted as ``fault.set.conflict`` trace
+        points and counted in ``faults.conflicts{action}``; rejections
+        raise :class:`~repro.faults.orchestrator.CampaignConflictError`
+        synchronously, so a bad schedule never half-runs.
+        """
+        cset = (campaigns if isinstance(campaigns, CampaignSet)
+                else CampaignSet.of(campaigns, policy=policy))
+        plan, conflicts = cset.resolve()
+        for conflict in conflicts:
+            count(self.env, "faults.conflicts", action=conflict.action)
+            emit(self.env, "fault.set.conflict", **conflict.as_dict())
+        emit(self.env, "fault.set.start", campaigns=len(plan),
+             conflicts=len(conflicts), policy=cset.policy)
+
+        def drive_set():
+            procs = [self.run(campaign) for campaign in plan]
+            parts = []
+            for proc in procs:
+                parts.append((yield proc))
+            merged = FaultStats.merge(parts)
+            self.merged_stats = merged
+            emit(self.env, "fault.set.done", campaigns=len(plan),
+                 faults_raised=merged.faults_raised)
+            return merged
+
+        return self.env.process(drive_set(), name="faults.set")

@@ -18,10 +18,19 @@ Fault hooks (used by :mod:`repro.faults`):
 * :meth:`set_down` / :meth:`set_up` — a dead cable.  Packets whose tail
   would arrive while the link is down are lost in the fabric (the worm is
   truncated; downstream hardware sees nothing and the sender is not told —
-  exactly the failure VMMC's base layer cannot survive).
+  exactly the failure VMMC's base layer cannot survive).  Down state is
+  **depth-counted** so overlapping faults from concurrent campaigns
+  compose: every ``set_down`` increments the depth, every ``set_up``
+  decrements it, and the cable only carries traffic again at depth 0
+  (the *last* clear wins).
 * :meth:`set_error_rate` / :meth:`clear_error_rate` — a temporary
   per-packet corruption-probability override modelling a clustered
-  bit-error burst.
+  bit-error burst.  Overrides form a **stack**: each ``set_error_rate``
+  pushes an entry and returns a token; the effective rate is the most
+  recently pushed entry (*last-wins*, documented contract), and clearing
+  by token removes only that entry, so two overlapping bursts keep the
+  link faulted until the last one clears.  ``clear_error_rate()`` with no
+  token empties the whole stack (the legacy single-override behaviour).
 """
 
 from __future__ import annotations
@@ -82,8 +91,11 @@ class Link:
         self.sink: Optional[Callable[[MyrinetPacket], object]] = None
         self._wire = Resource(env, capacity=1)
         self._rng = rng or np.random.default_rng(_seed_from_name(name))
-        self._error_override: Optional[float] = None
-        self._up = True
+        #: Stack of ``(token, rate)`` error-rate overrides (last-wins).
+        self._error_stack: list[tuple[int, float]] = []
+        self._error_tokens = 0
+        #: Number of outstanding :meth:`set_down` raises (0 == cable up).
+        self._down_depth = 0
         self.packets_carried = 0
         self.bytes_carried = 0
         self.errors_injected = 0
@@ -92,33 +104,65 @@ class Link:
     # -- fault hooks ----------------------------------------------------------
     @property
     def is_up(self) -> bool:
-        return self._up
+        return self._down_depth == 0
+
+    @property
+    def down_depth(self) -> int:
+        """How many overlapping down-faults currently hold the cable."""
+        return self._down_depth
+
+    @property
+    def error_burst_depth(self) -> int:
+        """How many overlapping error-rate overrides are active."""
+        return len(self._error_stack)
 
     @property
     def effective_error_rate(self) -> float:
-        return (self.params.error_rate if self._error_override is None
-                else self._error_override)
+        """Per-packet corruption probability in force right now: the most
+        recently pushed override (last-wins), else the configured
+        baseline."""
+        if self._error_stack:
+            return self._error_stack[-1][1]
+        return self.params.error_rate
 
     def set_down(self) -> None:
-        """Take the cable down: in-flight and future worms are lost."""
-        self._up = False
-        emit(self.env, f"{self.name}.down")
+        """Take the cable down: in-flight and future worms are lost.
+        Depth-counted — overlapping down-faults compose, and the link
+        stays down until the matching number of :meth:`set_up` calls."""
+        self._down_depth += 1
+        emit(self.env, f"{self.name}.down", depth=self._down_depth)
 
     def set_up(self) -> None:
-        self._up = True
-        emit(self.env, f"{self.name}.up")
+        """Release one down-fault; the cable carries traffic again only
+        when every overlapping down-fault has been released (clamped at
+        0 so stray extra calls are harmless)."""
+        self._down_depth = max(0, self._down_depth - 1)
+        emit(self.env, f"{self.name}.up", depth=self._down_depth)
 
-    def set_error_rate(self, rate: float) -> None:
-        """Override the per-packet corruption probability (error burst)."""
+    def set_error_rate(self, rate: float) -> int:
+        """Push a per-packet corruption-probability override (error
+        burst) and return a token for :meth:`clear_error_rate`.  The
+        effective rate is always the most recent push (last-wins)."""
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"error rate {rate} outside [0, 1]")
-        self._error_override = rate
-        emit(self.env, f"{self.name}.error_burst", rate=rate)
+        self._error_tokens += 1
+        token = self._error_tokens
+        self._error_stack.append((token, rate))
+        emit(self.env, f"{self.name}.error_burst", rate=rate,
+             depth=len(self._error_stack))
+        return token
 
-    def clear_error_rate(self) -> None:
-        """Return to the configured baseline error rate."""
-        self._error_override = None
-        emit(self.env, f"{self.name}.error_clear")
+    def clear_error_rate(self, token: Optional[int] = None) -> None:
+        """Remove the override identified by ``token`` (idempotent: an
+        unknown token is a no-op).  Without a token the whole stack is
+        emptied — the legacy 'return to baseline' behaviour."""
+        if token is None:
+            self._error_stack.clear()
+        else:
+            self._error_stack = [entry for entry in self._error_stack
+                                 if entry[0] != token]
+        emit(self.env, f"{self.name}.error_clear",
+             depth=len(self._error_stack))
 
     # -- data path ------------------------------------------------------------
     def connect(self, sink: Callable[[MyrinetPacket], object]) -> None:
@@ -157,7 +201,7 @@ class Link:
 
     def _deliver(self, packet: MyrinetPacket):
         yield self.env.timeout(self.params.latency_ns)
-        if not self._up:
+        if not self.is_up:
             # Dead cable: the worm never reaches the far end.  Nobody is
             # notified — Myrinet hardware gives the sender no feedback.
             self.packets_lost_down += 1

@@ -32,7 +32,10 @@ class Switch:
         self.latency_ns = latency_ns
         self._out_links: list[Optional[Link]] = [None] * nports
         self._out_ports = [Resource(env, capacity=1) for _ in range(nports)]
-        self._down_ports: set[int] = set()
+        #: port → number of outstanding down-faults (absent == up).
+        #: Depth-counted so overlapping campaigns compose: the port only
+        #: forwards again once every overlapping fault has cleared.
+        self._down_ports: dict[int, int] = {}
         self.packets_forwarded = 0
         self.drops = 0
         self.port_down_drops = 0
@@ -45,15 +48,29 @@ class Switch:
     # -- fault hooks ----------------------------------------------------------
     def set_port_down(self, port: int) -> None:
         """Disable an output port: worms routed to it are dropped by the
-        crossbar exactly like worms naming an unconnected port."""
+        crossbar exactly like worms naming an unconnected port.
+        Depth-counted — each call stacks one down-fault on the port."""
         self._check_port(port)
-        self._down_ports.add(port)
-        emit(self.env, f"{self.name}.port_down", port=port)
+        self._down_ports[port] = self._down_ports.get(port, 0) + 1
+        emit(self.env, f"{self.name}.port_down", port=port,
+             depth=self._down_ports[port])
 
     def set_port_up(self, port: int) -> None:
+        """Release one down-fault on ``port``; the port forwards again
+        only at depth 0 (stray extra calls are harmless)."""
         self._check_port(port)
-        self._down_ports.discard(port)
-        emit(self.env, f"{self.name}.port_up", port=port)
+        depth = self._down_ports.get(port, 0)
+        if depth <= 1:
+            self._down_ports.pop(port, None)
+        else:
+            self._down_ports[port] = depth - 1
+        emit(self.env, f"{self.name}.port_up", port=port,
+             depth=self._down_ports.get(port, 0))
+
+    def port_down_depth(self, port: int) -> int:
+        """How many overlapping down-faults currently hold ``port``."""
+        self._check_port(port)
+        return self._down_ports.get(port, 0)
 
     def port_is_up(self, port: int) -> bool:
         self._check_port(port)

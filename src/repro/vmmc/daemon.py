@@ -116,6 +116,12 @@ class VMMCDaemon:
         self.unimports_served = 0
         self._started = False
         self._crashed = False
+        #: Number of overlapping crash-faults currently holding the
+        #: daemon down (0 == alive).  Concurrent campaigns nest.
+        self._crash_depth = 0
+        #: A deferred restart asked for ``cold=True`` — cold dominates
+        #: warm, so the eventual restart (depth → 0) is cold.
+        self._pending_cold = False
         self.crashes = 0
         self.requests_dropped_crashed = 0
         #: Monotone cold-boot counter, stamped on every daemon RPC.
@@ -145,15 +151,26 @@ class VMMCDaemon:
     def crashed(self) -> bool:
         return self._crashed
 
+    @property
+    def crash_depth(self) -> int:
+        """How many overlapping crash-faults currently hold the daemon."""
+        return self._crash_depth
+
     def crash(self) -> None:
         """Kill the daemon process: requests arriving while it is down are
         lost (Ethernet datagrams to a dead peer get no reply).  Established
         export/import state survives — it lives on the NIC, and data
-        transfer does not involve the daemon (section 4.1)."""
+        transfer does not involve the daemon (section 4.1).
+
+        Crashes **nest**: each call stacks one crash-fault, and the daemon
+        only comes back up when :meth:`restart` has been called once per
+        crash (concurrent fault campaigns compose instead of clobbering
+        each other's state)."""
+        self._crash_depth += 1
         self._crashed = True
         self.crashes += 1
         count(self.env, "daemon.crashes", node=self.node_name)
-        emit(self.env, f"{self.address}.crash")
+        emit(self.env, f"{self.address}.crash", depth=self._crash_depth)
 
     def restart(self, cold: bool = False) -> None:
         """Bring the daemon back up.
@@ -167,7 +184,26 @@ class VMMCDaemon:
         epoch and drives the recovery protocol (module docstring): local
         teardown, export re-registration from the attached libraries, and
         an invalidate broadcast that turns peer imports stale.
+
+        With nested crashes (overlapping campaigns) each ``restart``
+        releases one crash-fault; the daemon actually restarts only when
+        the last one is released, and **cold dominates warm** — if *any*
+        overlapping fault asked for a cold restart, the eventual restart
+        is cold.  A ``restart`` with no outstanding crash proceeds
+        immediately (an administrative reboot of a live daemon).
         """
+        if self._crash_depth > 1:
+            # Inner restart of a nested crash: stay down, remember cold.
+            self._crash_depth -= 1
+            self._pending_cold = self._pending_cold or cold
+            count(self.env, "daemon.restarts_deferred", node=self.node_name)
+            emit(self.env, f"{self.address}.restart_deferred",
+                 depth=self._crash_depth,
+                 cold_pending=self._pending_cold or cold)
+            return
+        self._crash_depth = 0
+        cold = cold or self._pending_cold
+        self._pending_cold = False
         self._crashed = False
         count(self.env, "daemon.restarts", node=self.node_name)
         emit(self.env, f"{self.address}.restart")

@@ -239,6 +239,197 @@ def test_injector_mixed_campaign_stats_are_deterministic():
     assert first["faults_cleared"] == 4  # stall self-clears at expiry
 
 
+# ----------------------------------- overlapping faults on one target
+def test_overlapping_error_bursts_last_clear_wins():
+    """Regression: two overlapping bursts used to share a single
+    override slot, so the first burst's clear wiped the still-active
+    second burst.  With the stack, the link stays faulted until the
+    *last* clear."""
+    cluster = small_cluster()
+    link = cluster.fabric.find_link("node0->sw0")
+    tok_a = link.set_error_rate(0.9)
+    tok_b = link.set_error_rate(0.5)        # last-wins while both active
+    assert link.effective_error_rate == pytest.approx(0.5)
+    assert link.error_burst_depth == 2
+    link.clear_error_rate(tok_a)            # first burst ends...
+    assert link.error_burst_depth == 1
+    assert link.effective_error_rate == pytest.approx(0.5)  # ...B survives
+    link.clear_error_rate(tok_b)
+    assert link.error_burst_depth == 0
+    assert link.effective_error_rate == 0.0
+    # Unknown token is an idempotent no-op.
+    link.clear_error_rate(tok_b)
+    assert link.effective_error_rate == 0.0
+
+
+def test_bare_clear_error_rate_empties_stack():
+    cluster = small_cluster()
+    link = cluster.fabric.find_link("node0->sw0")
+    link.set_error_rate(0.9)
+    link.set_error_rate(0.5)
+    link.clear_error_rate()                 # legacy: back to baseline
+    assert link.effective_error_rate == 0.0
+    assert link.error_burst_depth == 0
+
+
+def test_overlapping_link_down_depth_counted():
+    """Regression: an early set_up from fault A used to revive a cable
+    fault B still held down."""
+    cluster = small_cluster()
+    link = cluster.fabric.find_link("node0->sw0")
+    link.set_down()
+    link.set_down()
+    assert not link.is_up and link.down_depth == 2
+    link.set_up()                           # A clears: still down (B)
+    assert not link.is_up and link.down_depth == 1
+    link.set_up()                           # last clear wins
+    assert link.is_up and link.down_depth == 0
+    link.set_up()                           # stray extra clear: clamped
+    assert link.is_up and link.down_depth == 0
+
+
+def test_overlapping_switch_port_down_depth_counted():
+    cluster = small_cluster()
+    sw = cluster.fabric.switches["sw0"]
+    sw.set_port_down(3)
+    sw.set_port_down(3)
+    assert not sw.port_is_up(3) and sw.port_down_depth(3) == 2
+    sw.set_port_up(3)
+    assert not sw.port_is_up(3) and sw.port_down_depth(3) == 1
+    sw.set_port_up(3)
+    assert sw.port_is_up(3) and sw.port_down_depth(3) == 0
+    sw.set_port_up(3)                       # clamped
+    assert sw.port_is_up(3)
+
+
+def test_overlapping_daemon_crashes_nest_cold_dominates_warm():
+    cluster = small_cluster()
+    daemon = cluster.nodes[1].daemon
+    epoch_before = daemon.epoch
+    daemon.crash()                          # warm fault
+    daemon.crash()                          # cold fault overlaps
+    assert daemon.crashed and daemon.crash_depth == 2
+    daemon.restart(cold=True)               # inner restart: stays down
+    assert daemon.crashed and daemon.crash_depth == 1
+    daemon.restart()                        # last restart: cold dominates
+    assert not daemon.crashed and daemon.crash_depth == 0
+    assert daemon.epoch == epoch_before + 1
+    assert daemon.cold_restarts == 1
+
+
+def test_injector_overlapping_bursts_one_link_no_early_clear():
+    """End-to-end through the injector: burst A [1000, 6000) and burst B
+    [4000, 9000) on one link; the link must stay errored across A's
+    clear and only return to baseline at B's clear."""
+    cluster = small_cluster()
+    env = cluster.env
+    link = cluster.fabric.find_link("node0->sw0")
+    campaign = FaultCampaign.of("overlap", [
+        FaultEvent(at_ns=1_000, kind=LINK_ERROR_BURST, target="node0->sw0",
+                   duration_ns=5_000, params={"rate": 0.9}),
+        FaultEvent(at_ns=4_000, kind=LINK_ERROR_BURST, target="node0->sw0",
+                   duration_ns=5_000, params={"rate": 0.5}),
+    ])
+    done = FaultInjector(cluster).run(campaign)
+    env.run(until=2_000)
+    assert link.effective_error_rate == pytest.approx(0.9)
+    env.run(until=5_000)                    # both active: last-wins
+    assert link.effective_error_rate == pytest.approx(0.5)
+    env.run(until=7_000)                    # A cleared at 6000, B alive
+    assert link.effective_error_rate == pytest.approx(0.5)
+    assert link.error_burst_depth == 1
+    env.run(until=done)                     # B cleared at 9000
+    assert link.effective_error_rate == 0.0
+    assert link.error_burst_depth == 0
+
+
+# -------------------------------- injector stats bookkeeping (satellite)
+def test_injector_second_campaign_does_not_clobber_first_stats():
+    """Regression: run() used to overwrite `injector.stats`, so a second
+    campaign clobbered the first's reference mid-run."""
+    cluster = small_cluster()
+    env = cluster.env
+    injector = FaultInjector(cluster)
+    first = FaultCampaign.of("first", [
+        FaultEvent(at_ns=1_000, kind=LINK_ERROR_BURST, target="node0->sw0",
+                   duration_ns=2_000, params={"rate": 0.9})])
+    second = FaultCampaign.of("second", [
+        FaultEvent(at_ns=1_500, kind=LINK_DOWN, target="sw0->node1",
+                   duration_ns=2_000)])
+    done_first = injector.run(first)
+    stats_first = injector.stats_by_campaign["first"]
+    done_second = injector.run(second)      # would have clobbered .stats
+    env.run(until=done_first)
+    env.run(until=done_second)
+    assert injector.stats_by_campaign["first"] is stats_first
+    assert stats_first.campaign == "first"
+    assert stats_first.by_kind == {LINK_ERROR_BURST: 1}
+    assert injector.stats_by_campaign["second"].by_kind == {LINK_DOWN: 1}
+    # Process values carry the same objects.
+    assert done_first.value is stats_first
+
+
+def test_permanent_fault_charged_by_finalize():
+    """Regression: permanent faults (duration_ns=None) never appeared in
+    fault_ns_by_target; finalize(now) charges run_end - raised_at, and
+    re-finalizing later extends the charge."""
+    cluster = small_cluster()
+    env = cluster.env
+    t0 = env.now                            # build boots the cluster
+    campaign = FaultCampaign.of("cut", [
+        FaultEvent(at_ns=500, kind=LINK_DOWN, target="sw0->node1"),
+        FaultEvent(at_ns=1_000, kind=LINK_ERROR_BURST, target="node0->sw0",
+                   duration_ns=9_500, params={"rate": 0.5}),
+    ]).shifted(t0)
+    injector = FaultInjector(cluster)
+    done = injector.run(campaign)
+    env.run(until=done)                     # campaign ends at t0 + 10_500
+    stats = injector.stats_by_campaign["cut"]
+    assert stats.finalized_at == t0 + 10_500
+    assert stats.fault_ns_by_target["sw0->node1"] == 10_000
+    assert stats.open_faults == 1
+    env.run(until=t0 + 20_000)
+    stats.finalize(env.now)                 # extend to measurement end
+    assert stats.fault_ns_by_target["sw0->node1"] == 19_500
+    assert stats.intervals_by_target["sw0->node1"] == [(t0 + 500,
+                                                        t0 + 20_000)]
+    # The timed burst is unaffected by finalize.
+    assert stats.fault_ns_by_target["node0->sw0"] == 9_500
+
+
+def test_campaign_sort_is_total_over_duplicate_keys():
+    """Events sharing (at_ns, kind, target) used to sort unspecified by
+    construction order; the total key makes same-seed campaigns
+    bit-identical regardless of input order."""
+    e_short = FaultEvent(at_ns=100, kind=LINK_ERROR_BURST, target="a",
+                         duration_ns=1_000, params={"rate": 0.2})
+    e_long = FaultEvent(at_ns=100, kind=LINK_ERROR_BURST, target="a",
+                        duration_ns=2_000, params={"rate": 0.9})
+    e_perm = FaultEvent(at_ns=100, kind=LINK_DOWN, target="a")
+    e_timed = FaultEvent(at_ns=100, kind=LINK_DOWN, target="a",
+                         duration_ns=500)
+    forward = FaultCampaign.of("c", [e_short, e_long, e_perm, e_timed],
+                               seed=3)
+    backward = FaultCampaign.of("c", [e_timed, e_perm, e_long, e_short],
+                                seed=3)
+    assert forward.events == backward.events
+    assert forward == backward
+    # Durations break the tie; permanent (None) sorts after timed.
+    bursts = [e for e in forward if e.kind == LINK_ERROR_BURST]
+    assert [e.duration_ns for e in bursts] == [1_000, 2_000]
+    downs = [e for e in forward if e.kind == LINK_DOWN]
+    assert [e.duration_ns for e in downs] == [500, None]
+
+
+def test_same_key_same_duration_params_break_tie():
+    a = FaultEvent(at_ns=100, kind=LINK_ERROR_BURST, target="a",
+                   duration_ns=1_000, params={"rate": 0.2})
+    b = FaultEvent(at_ns=100, kind=LINK_ERROR_BURST, target="a",
+                   duration_ns=1_000, params={"rate": 0.9})
+    assert (FaultCampaign.of("c", [a, b]).events
+            == FaultCampaign.of("c", [b, a]).events)
+
+
 # -------------------------------------- CRC-drop path (satellite test)
 def test_crc_error_detected_counted_dropped_never_recovered():
     """error_rate=1.0: every packet is corrupted on the wire.  The LCP
