@@ -16,6 +16,10 @@ chaos        extension — lossy-link sweep + fault campaign: baseline
              VMMC vs the reliable-delivery layer; with
              ``--scenario daemon-cold-crash``, exactly-once delivery
              across cold daemon restarts (``--report`` for JSON)
+dsm-bench    extension — seeded DSM coherence workload (page faults,
+             invalidations, fetch latency) under clean/chaos scenarios,
+             gated on the sequential-consistency checker and
+             byte-identical reruns (``--report`` for JSON)
 metrics      observability — metrics snapshot of the instrumented
              contract workload (``--json`` for machine consumption)
 trace        observability — Perfetto / Chrome trace-event export of the
@@ -398,6 +402,73 @@ def _chaos_cold_crash(args, run_cold_crash_point) -> int:
     return 0 if ok else 1
 
 
+def cmd_dsm_bench(args) -> int:
+    """``dsm-bench``: seeded DSM trials, SC-checker and determinism
+    gated; ``--report`` writes the machine-readable sweep (the committed
+    ``BENCH_DSM.json`` is the ``--smoke`` shape of it)."""
+    import json
+
+    from repro.dsm.bench import SCENARIOS, run_dsm_sweep, run_dsm_trial
+
+    scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    seeds = (list(range(args.seeds)) if args.seed is None
+             else [args.seed])
+    if args.smoke:
+        seeds = seeds[:4]
+    if not seeds:
+        print("dsm-bench: nothing to run (--seeds must be >= 1)")
+        return 1
+    kwargs = dict(nnodes=args.nodes, npages=args.pages,
+                  page_bytes=args.page_bytes, ops_per_node=args.ops)
+    sweep = run_dsm_sweep(seeds, scenarios=scenarios, **kwargs)
+
+    rows = []
+    for trial in sweep["trials"]:
+        counters = trial["counters"]
+        rows.append([
+            trial["scenario"], trial["seed"], trial["ops_total"],
+            counters["read_faults"] + counters["write_faults"],
+            counters["invalidations_sent"],
+            trial["fetch_ns"]["p50"], trial["fetch_ns"]["p99"],
+            f"{trial['pages_per_sec']:g}",
+            len(trial["sc_violations"]),
+        ])
+    print(format_table(
+        f"DSM coherence bench: {args.nodes} nodes x {args.pages} pages "
+        f"x {args.page_bytes}B, {args.ops} ops/node "
+        "(SC checker runs on every trial)",
+        ["scenario", "seed", "ops", "faults", "invals", "fetch p50",
+         "fetch p99", "pages/s", "SC viol"], rows))
+
+    violations = sweep["summary"]["sc_violations_total"]
+    # Determinism gate: the first seed of every scenario, re-run and
+    # compared byte for byte.
+    deterministic = True
+    for scenario in scenarios:
+        first = json.dumps(
+            run_dsm_trial(seeds[0], scenario=scenario, **kwargs),
+            sort_keys=True)
+        again = json.dumps(
+            run_dsm_trial(seeds[0], scenario=scenario, **kwargs),
+            sort_keys=True)
+        if first != again:
+            deterministic = False
+            print(f"DETERMINISM VIOLATION: scenario {scenario!r} "
+                  f"seed {seeds[0]} differs across reruns")
+    ok = violations == 0 and deterministic
+    print(f"\n{len(sweep['trials'])} trials, "
+          f"{violations} SC violations, "
+          f"reruns {'byte-identical' if deterministic else 'DIVERGED'}"
+          + ("" if ok else " — FAILING"))
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(sweep, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
+
+
 def cmd_metrics(args) -> int:
     import json
 
@@ -536,6 +607,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--report", metavar="FILE",
                        help="write a JSON report of the scenario run")
     chaos.set_defaults(func=cmd_chaos)
+
+    dsm = sub.add_parser(
+        "dsm-bench",
+        help="DSM coherence workload under chaos, SC-checker gated")
+    dsm.add_argument("--nodes", type=int, default=4)
+    dsm.add_argument("--pages", type=int, default=64)
+    dsm.add_argument("--page-bytes", type=int, default=256)
+    dsm.add_argument("--ops", type=int, default=24,
+                     help="mixed-phase ops per node (default 24)")
+    dsm.add_argument("--seeds", type=int, default=16, metavar="N",
+                     help="sweep seeds 0..N-1 (default 16)")
+    dsm.add_argument("--seed", type=int, default=None,
+                     help="run a single seed instead of the sweep")
+    dsm.add_argument("--scenario",
+                     choices=["all", "clean", "error-burst",
+                              "daemon-cold-crash"],
+                     default="all")
+    dsm.add_argument("--smoke", action="store_true",
+                     help="CI shape: first 4 seeds only")
+    dsm.add_argument("--report", metavar="FILE",
+                     help="write the JSON sweep report")
+    dsm.set_defaults(func=cmd_dsm_bench)
 
     met = sub.add_parser(
         "metrics", help="metrics snapshot of the instrumented workload")

@@ -1,0 +1,114 @@
+"""Sequential-consistency checking for DSM runs.
+
+The workload records every shared-memory operation as a :class:`DsmOp`
+with its **commit time** — the simulation instant the local load/store
+actually touched the page (chosen inside the op's ``[start_ns, end_ns]``
+real-time interval).  Write values are unique per run, so each read
+names exactly the write it observed.  The checker then verifies that
+ordering all ops by commit time is a legal serial execution — a
+linearizability witness, which implies sequential consistency:
+
+* every read returns the latest write (by commit order) to its location,
+  or ``0`` when no write committed before it (pages start zeroed);
+* per node, commit times strictly increase (program order is embedded in
+  the witness order);
+* each op's commit lies inside its real-time interval.
+
+Simultaneous commits (same nanosecond on different nodes) are tolerated
+in either order — the event queue's intra-tick ordering is not modelled
+— but any *strictly* earlier write must be visible, which is exactly the
+stale-read signature an incoherent protocol produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DsmOp:
+    """One shared-memory access, as recorded by the node that issued it."""
+    node: int
+    index: int          #: per-node program-order index
+    kind: str           #: ``"r"`` or ``"w"``
+    page: int
+    offset: int         #: byte offset inside the page
+    value: int
+    start_ns: int       #: op issued
+    commit_ns: int      #: local access actually performed
+    end_ns: int         #: op returned
+
+    @property
+    def location(self) -> tuple[int, int]:
+        return (self.page, self.offset)
+
+
+def check_sequential_consistency(ops: list[DsmOp]) -> list[str]:
+    """Returns human-readable violations (empty list ⇔ the run is SC)."""
+    violations: list[str] = []
+
+    # Intervals and per-node program order.
+    by_node: dict[int, list[DsmOp]] = {}
+    for op in ops:
+        if not op.start_ns <= op.commit_ns <= op.end_ns:
+            violations.append(
+                f"node {op.node} op {op.index}: commit {op.commit_ns} "
+                f"outside [{op.start_ns}, {op.end_ns}]")
+        by_node.setdefault(op.node, []).append(op)
+    for node, node_ops in sorted(by_node.items()):
+        node_ops.sort(key=lambda op: op.index)
+        for prev, cur in zip(node_ops, node_ops[1:]):
+            if cur.commit_ns <= prev.commit_ns:
+                violations.append(
+                    f"node {node}: op {cur.index} commit {cur.commit_ns} "
+                    f"not after op {prev.index} commit {prev.commit_ns}")
+
+    # Per-location read validation against the commit-order witness.
+    by_location: dict[tuple[int, int], list[DsmOp]] = {}
+    for op in ops:
+        by_location.setdefault(op.location, []).append(op)
+    for location, loc_ops in sorted(by_location.items()):
+        writes = sorted((op for op in loc_ops if op.kind == "w"),
+                        key=lambda op: op.commit_ns)
+        by_value: dict[int, DsmOp] = {}
+        for write in writes:
+            if write.value in by_value:
+                violations.append(
+                    f"location {location}: write value {write.value} not "
+                    f"unique (nodes {by_value[write.value].node} and "
+                    f"{write.node})")
+            by_value[write.value] = write
+        for read in (op for op in loc_ops if op.kind == "r"):
+            if read.value == 0:
+                stale = [w for w in writes
+                         if w.commit_ns < read.commit_ns]
+                if stale:
+                    w = stale[-1]
+                    violations.append(
+                        f"location {location}: node {read.node} op "
+                        f"{read.index} read 0 at {read.commit_ns} but "
+                        f"node {w.node} wrote {w.value} at {w.commit_ns}")
+                continue
+            source = by_value.get(read.value)
+            if source is None:
+                violations.append(
+                    f"location {location}: node {read.node} op "
+                    f"{read.index} read {read.value}, never written "
+                    f"there")
+                continue
+            if source.commit_ns > read.commit_ns:
+                violations.append(
+                    f"location {location}: node {read.node} op "
+                    f"{read.index} read {read.value} at "
+                    f"{read.commit_ns} before its write committed at "
+                    f"{source.commit_ns}")
+            between = [w for w in writes
+                       if source.commit_ns < w.commit_ns < read.commit_ns]
+            if between:
+                w = between[-1]
+                violations.append(
+                    f"location {location}: node {read.node} op "
+                    f"{read.index} read stale {read.value} at "
+                    f"{read.commit_ns} — node {w.node} overwrote with "
+                    f"{w.value} at {w.commit_ns}")
+    return violations

@@ -38,7 +38,9 @@ from repro.faults.campaign import (
     LINK_DOWN,
     LINK_ERROR_BURST,
     MergedFaultStats,
+    PhaseAnchor,
     SWITCH_PORT_DOWN,
+    phase,
     union_ns,
 )
 from repro.faults.orchestrator import (
@@ -46,7 +48,7 @@ from repro.faults.orchestrator import (
     CampaignSet,
     Conflict,
 )
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, PhaseSchedule
 
 __all__ = [
     "DAEMON_COLD_CRASH",
@@ -63,6 +65,9 @@ __all__ = [
     "LINK_DOWN",
     "LINK_ERROR_BURST",
     "MergedFaultStats",
+    "PhaseAnchor",
+    "PhaseSchedule",
     "SWITCH_PORT_DOWN",
+    "phase",
     "union_ns",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Optional, Union
 
 import numpy as np
 
@@ -39,6 +39,41 @@ FAULT_KINDS = frozenset({
     DAEMON_CRASH,
     DAEMON_COLD_CRASH,
 })
+
+
+@dataclass(frozen=True)
+class PhaseAnchor:
+    """A point in time relative to a *named workload phase* instead of the
+    absolute clock: ``phase("warmup") + 10_000`` is 10 µs after the
+    workload announces the start of its ``warmup`` phase.
+
+    Campaigns authored against phases survive workload-timing changes
+    (cluster boot got slower, a barrier moved) that would silently shift
+    absolute-ns campaigns off their intended target — the carry-over the
+    DSM bench needed, where "crash the daemon mid-write-storm" is a
+    statement about the ``mixed`` phase, not about nanosecond 2_400_000.
+    """
+
+    phase: str
+    offset_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.phase:
+            raise ValueError("phase anchor needs a phase name")
+        if self.offset_ns < 0:
+            raise ValueError(
+                f"negative offset {self.offset_ns} from phase "
+                f"{self.phase!r}")
+
+    def __add__(self, extra_ns: int) -> "PhaseAnchor":
+        return PhaseAnchor(self.phase, self.offset_ns + int(extra_ns))
+
+    __radd__ = __add__
+
+
+def phase(name: str, offset_ns: int = 0) -> PhaseAnchor:
+    """Author a :class:`FaultEvent` time as ``phase("mixed") + 50_000``."""
+    return PhaseAnchor(name, offset_ns)
 
 
 @dataclass(frozen=True)
@@ -69,15 +104,28 @@ class FaultEvent:
     ``duration_ns`` of ``None`` means the fault is raised and never
     cleared (a permanent failure for the rest of the run).  For
     ``lanai_stall`` the duration *is* the fault, so it must be given.
+
+    ``at_ns`` may be a :class:`PhaseAnchor` (``phase("warmup") + 10_000``)
+    instead of an absolute time: the anchor's phase name lands in
+    :attr:`phase` and its offset in :attr:`at_ns`, and the injector fires
+    the event ``at_ns`` after the workload's
+    :class:`~repro.faults.injector.PhaseSchedule` enters that phase.
+    Phase-relative events are immune to :meth:`FaultCampaign.shifted`
+    (they are already relative to a moving origin).
     """
 
-    at_ns: int
+    at_ns: Union[int, "PhaseAnchor"]
     kind: str
     target: str
     duration_ns: Optional[int] = None
     params: dict[str, Any] = field(default_factory=dict)
+    #: Workload phase this event is anchored to (``None`` = absolute ns).
+    phase: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.at_ns, PhaseAnchor):
+            object.__setattr__(self, "phase", self.at_ns.phase)
+            object.__setattr__(self, "at_ns", self.at_ns.offset_ns)
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r} "
                              f"(must be one of {sorted(FAULT_KINDS)})")
@@ -92,11 +140,12 @@ class FaultEvent:
 
     @property
     def sort_key(self) -> tuple:
-        """A **total** ordering key: ``(at_ns, kind, target)`` ties are
-        broken by duration (permanent faults last) and a canonical params
-        repr, so same-seed campaigns sort bit-identically regardless of
-        the order the events were constructed in."""
-        return (self.at_ns, self.kind, self.target,
+        """A **total** ordering key: ``(phase, at_ns, kind, target)`` ties
+        are broken by duration (permanent faults last) and a canonical
+        params repr, so same-seed campaigns sort bit-identically
+        regardless of the order the events were constructed in.
+        Absolute events (empty phase) sort before phase-anchored ones."""
+        return (self.phase or "", self.at_ns, self.kind, self.target,
                 self.duration_ns is None, self.duration_ns or 0,
                 repr(sorted(self.params.items(), key=lambda kv: kv[0])))
 
@@ -134,12 +183,17 @@ class FaultCampaign:
         """A copy with every event delayed by ``offset_ns`` — campaigns
         are authored relative to t=0 and shifted to the workload's start
         time at run time (events scheduled in the past would otherwise
-        all fire immediately, collapsing their relative timing)."""
+        all fire immediately, collapsing their relative timing).
+
+        Phase-anchored events are left untouched: their origin is the
+        phase start, which moves with the workload by construction."""
         if offset_ns == 0:
             return self
         return FaultCampaign(
             name=self.name,
-            events=tuple(dataclasses.replace(e, at_ns=e.at_ns + offset_ns)
+            events=tuple(e if e.phase is not None
+                         else dataclasses.replace(e, at_ns=e.at_ns
+                                                  + offset_ns)
                          for e in self.events),
             seed=self.seed)
 

@@ -49,6 +49,43 @@ from repro.faults.campaign import (
 from repro.faults.orchestrator import CampaignSet
 
 
+class PhaseSchedule:
+    """Named workload phases that phase-anchored :class:`FaultEvent` s
+    wait on.
+
+    The workload calls :meth:`enter` as it crosses each phase boundary;
+    the injector parks every ``phase("name") + offset`` event until the
+    phase is entered, then counts ``offset`` ns from the *actual* entry
+    time.  Entry times are recorded in :attr:`started_at` (the bench
+    reports them, so a campaign's placement is auditable after the run).
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        #: phase name → absolute ns at which the workload entered it.
+        self.started_at: dict[str, int] = {}
+        self._waiters: dict[str, object] = {}
+
+    def enter(self, name: str) -> None:
+        """Announce that the workload just entered phase ``name``."""
+        if name in self.started_at:
+            raise ValueError(f"phase {name!r} entered twice")
+        self.started_at[name] = self.env.now
+        count(self.env, "faults.phases_entered")
+        emit(self.env, "workload.phase", phase=name)
+        waiter = self._waiters.pop(name, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed()
+
+    def _pending(self, name: str):
+        """Event that fires when ``name`` is entered (injector-side)."""
+        waiter = self._waiters.get(name)
+        if waiter is None:
+            waiter = self.env.event()
+            self._waiters[name] = waiter
+        return waiter
+
+
 class FaultInjector:
     """Applies :class:`FaultCampaign` s to one cluster."""
 
@@ -109,23 +146,41 @@ class FaultInjector:
             self._node(event.target).daemon.restart(cold=True)
 
     # -- execution ------------------------------------------------------------
-    def run(self, campaign: FaultCampaign) -> Process:
+    def run(self, campaign: FaultCampaign,
+            phases: Optional[PhaseSchedule] = None) -> Process:
         """Process: drive the whole campaign; value is its
         :class:`FaultStats`.  One child process per event, so overlapping
         faults on different targets proceed independently.
+
+        Phase-anchored events require ``phases`` — the
+        :class:`PhaseSchedule` the workload announces its phases on; a
+        campaign with anchored events but no schedule is refused up front
+        (the event would otherwise wait forever).
 
         The campaign's stats live in ``stats_by_campaign[campaign.name]``
         from the moment this returns; at campaign end they are
         :meth:`~FaultStats.finalize` d so permanent faults are charged up
         to the campaign's completion time (re-finalize with a later clock
         to extend the charge to a longer measurement window)."""
+        anchored = [e for e in campaign if e.phase is not None]
+        if anchored and phases is None:
+            raise ValueError(
+                f"campaign {campaign.name!r} has phase-anchored events "
+                f"({sorted({e.phase for e in anchored})}) but no "
+                f"PhaseSchedule was given")
         stats = FaultStats(campaign=campaign.name, seed=campaign.seed)
         self.stats = stats
         self.stats_by_campaign[campaign.name] = stats
         count(self.env, "faults.campaigns")
 
         def drive_one(event: FaultEvent):
-            delay = event.at_ns - self.env.now
+            if event.phase is not None:
+                if event.phase not in phases.started_at:
+                    yield phases._pending(event.phase)
+                delay = (phases.started_at[event.phase] + event.at_ns
+                         - self.env.now)
+            else:
+                delay = event.at_ns - self.env.now
             if delay > 0:
                 yield self.env.timeout(delay)
             raised_at = self.env.now
@@ -162,7 +217,8 @@ class FaultInjector:
 
     def run_all(self,
                 campaigns: Union[CampaignSet, Iterable[FaultCampaign]],
-                policy: str = "serialize") -> Process:
+                policy: str = "serialize",
+                phases: Optional[PhaseSchedule] = None) -> Process:
         """Process: drive several campaigns **concurrently**; value is the
         canonical :class:`MergedFaultStats` aggregate (also stored in
         :attr:`merged_stats` at completion).
@@ -185,7 +241,7 @@ class FaultInjector:
              conflicts=len(conflicts), policy=cset.policy)
 
         def drive_set():
-            procs = [self.run(campaign) for campaign in plan]
+            procs = [self.run(campaign, phases=phases) for campaign in plan]
             parts = []
             for proc in procs:
                 parts.append((yield proc))

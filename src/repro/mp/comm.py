@@ -18,15 +18,35 @@ The sender may have at most ``nslots`` unconsumed fragments outstanding;
 it spins on its own credit word (a local cached read — the receiver's
 remote write invalidates it) when the ring is full.  All data movement is
 ``SendMsg``; all synchronisation is spinning on exported memory.
+
+Resilient mode (``resilient=True``) hardens the channel against daemon
+cold restarts for control-plane users (barriers, lock managers, the DSM
+sync layer).  Raw mode stays zero-overhead but a cold crash can silently
+swallow an in-flight fragment or credit write, wedging both ends.
+Resilient channels instead:
+
+* route every remote write through :meth:`Communicator._robust_send`,
+  which re-imports stale mappings (with backoff while the peer daemon
+  reboots) and retries error completions;
+* run **stop-and-wait** on the send side — each fragment is held until
+  the receiver's credit write acknowledges it, and retransmitted
+  (idempotent slot rewrite) on timeout;
+* re-ack on the receive side when a duplicate retransmission shows a
+  credit write was lost.
+
+Fragments publish by rewriting the same slot bytes, so retransmission is
+idempotent and the receiver's consume-once cursor (``next_seq``) already
+deduplicates.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sim import Environment, Resource
+from repro.sim import AnyOf, Environment, Resource
 from repro.mem.buffers import UserBuffer
 from repro.vmmc.api import ImportedBuffer, VMMCEndpoint
+from repro.vmmc.errors import CompletionError, ImportDenied, ImportStale
 
 #: Fragment slots per channel and payload bytes per slot.
 DEFAULT_SLOTS = 8
@@ -61,6 +81,10 @@ class _RxChannel:
         self.credit_scratch = credit_scratch
         #: Out-of-band buffered messages keyed by tag (tag mismatch).
         self.pending: dict[int, list[bytes]] = {}
+        #: Serialises concurrent ``recv`` posts on this channel — two
+        #: :meth:`Communicator._next_message` instances racing on
+        #: ``next_seq`` would double-consume a fragment.  Lazy.
+        self.lock = None
 
 
 class _TxChannel:
@@ -88,7 +112,12 @@ class Communicator:
 
     def __init__(self, rank: int, size: int, ep: VMMCEndpoint,
                  nslots: int = DEFAULT_SLOTS,
-                 slot_bytes: int = DEFAULT_SLOT_BYTES):
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 resilient: bool = False,
+                 prefix: str = "mp",
+                 retry_timeout_ns: int = 200_000,
+                 max_retry_timeout_ns: int = 2_000_000,
+                 max_retries: int = 10):
         if slot_bytes <= _HEADER_BYTES:
             raise MPError("slot too small for the fragment header")
         self.rank = rank
@@ -98,12 +127,25 @@ class Communicator:
         self.nslots = nslots
         self.slot_bytes = slot_bytes
         self.payload_per_slot = slot_bytes - _HEADER_BYTES
+        #: Survive peer daemon cold restarts (stop-and-wait + recovery).
+        self.resilient = resilient
+        #: Namespace for export names, so several worlds coexist on one
+        #: cluster (e.g. the app's ``mp`` world and the DSM sync world).
+        self.prefix = prefix
+        self.retry_timeout_ns = retry_timeout_ns
+        self.max_retry_timeout_ns = max_retry_timeout_ns
+        self.max_retries = max_retries
         self._rx: dict[int, _RxChannel] = {}
         self._tx: dict[int, _TxChannel] = {}
         self.messages_sent = 0
         self.messages_received = 0
         self.fragments_sent = 0
         self.flow_control_stalls = 0
+        #: Resilient-mode recovery counters (plain ints — queryable by
+        #: tests and the DSM bench without an obs registry attached).
+        self.redeliveries = 0
+        self.stale_recoveries = 0
+        self.credit_reacks = 0
 
     # -- wiring -----------------------------------------------------------
     def setup_exports(self):
@@ -113,13 +155,14 @@ class Communicator:
                 if peer == self.rank:
                     continue
                 ring = self.ep.alloc_buffer(self.nslots * self.slot_bytes)
-                yield self.ep.export(ring, f"mp.ring.{peer}->{self.rank}")
+                yield self.ep.export(
+                    ring, f"{self.prefix}.ring.{peer}->{self.rank}")
                 self._rx[peer] = _RxChannel(
                     ring, self.nslots, self.slot_bytes,
                     credit_scratch=self.ep.alloc_buffer(4096))
                 credit = self.ep.alloc_buffer(4096)
                 yield self.ep.export(
-                    credit, f"mp.credit.{self.rank}->{peer}")
+                    credit, f"{self.prefix}.credit.{self.rank}->{peer}")
                 self._tx[peer] = _TxChannel(
                     remote_ring=None, credit=credit, credit_at_peer=None,
                     nslots=self.nslots, slot_bytes=self.slot_bytes,
@@ -139,13 +182,95 @@ class Communicator:
                     continue
                 tx = self._tx[peer]
                 tx.remote_ring = yield self.ep.import_buffer(
-                    node_of_rank(peer), f"mp.ring.{self.rank}->{peer}")
+                    node_of_rank(peer),
+                    f"{self.prefix}.ring.{self.rank}->{peer}")
                 # The credit word for traffic peer->me lives at the peer
                 # (their tx channel for me); we write consumption into it.
                 tx.credit_at_peer = yield self.ep.import_buffer(
-                    node_of_rank(peer), f"mp.credit.{peer}->{self.rank}")
+                    node_of_rank(peer),
+                    f"{self.prefix}.credit.{peer}->{self.rank}")
 
         return self.env.process(run(), name=f"mp.connect.{self.rank}")
+
+    # -- resilient-mode plumbing -------------------------------------------
+    def _reimport(self, imported: ImportedBuffer):
+        """Generator: re-establish a stale import, backing off while the
+        peer daemon reboots (denials/timeouts retried until the budget is
+        spent — mirrors the reliable channel's recovery loop)."""
+        backoff = self.retry_timeout_ns
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                yield imported.reimport(timeout_ns=backoff)
+                return
+            except ImportDenied:
+                if attempts > self.max_retries:
+                    raise
+                backoff = min(backoff * 2, self.max_retry_timeout_ns)
+
+    def _robust_send(self, src: UserBuffer, imported: ImportedBuffer,
+                     offset: int, nbytes: int, src_offset: int = 0):
+        """Generator: one remote write.  Plain ``ep.send`` unless the
+        communicator is resilient, in which case stale imports are
+        re-established (peer cold restart) and error completions retried
+        with backoff.  The proxy address is re-resolved from ``imported``
+        on every attempt, so it stays valid across a re-import."""
+        if not self.resilient:
+            yield self.ep.send(src, imported.at(offset), nbytes,
+                               src_offset=src_offset)
+            return
+        backoff = self.retry_timeout_ns
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                yield self.ep.send(src, imported.at(offset), nbytes,
+                                   src_offset=src_offset)
+                return
+            except ImportStale:
+                self.stale_recoveries += 1
+                yield from self._reimport(imported)
+            except CompletionError:
+                if attempts > self.max_retries:
+                    raise
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2, self.max_retry_timeout_ns)
+
+    def _await_credit(self, dst: int, tx: _TxChannel, seq: int):
+        """Generator: stop-and-wait acknowledgement — park until the
+        receiver's credit write covers ``seq``, retransmitting the slot
+        (payload + header still staged in ``tx.scratch``) on timeout.
+        Retransmission rewrites the same bytes, so a duplicate delivery
+        is harmless; the receiver re-acks if its credit write was the
+        casualty."""
+        frag_len = _read_u32(tx.scratch, self.slot_bytes + 12)
+        base = ((seq - 1) % self.nslots) * self.slot_bytes
+        deadline = self.retry_timeout_ns
+        attempts = 0
+        while _read_u32(tx.credit, 0) < seq:
+            watch = self.ep.watch(tx.credit, 0, 4)
+            yield self.ep.membus.cacheline_fill()
+            if _read_u32(tx.credit, 0) >= seq:
+                break
+            fired = yield AnyOf(self.env, [watch,
+                                           self.env.timeout(deadline)])
+            if watch in fired:
+                continue
+            attempts += 1
+            if attempts > self.max_retries:
+                raise MPError(
+                    f"rank {self.rank}: fragment {seq} to rank {dst} "
+                    f"unacknowledged after {attempts} retransmissions")
+            deadline = min(deadline * 2, self.max_retry_timeout_ns)
+            self.redeliveries += 1
+            if frag_len:
+                yield from self._robust_send(
+                    tx.scratch, tx.remote_ring, base + _HEADER_BYTES,
+                    frag_len)
+            yield from self._robust_send(
+                tx.scratch, tx.remote_ring, base, _HEADER_BYTES,
+                src_offset=self.slot_bytes)
 
     # -- point-to-point ------------------------------------------------------
     def send(self, dst: int, payload: bytes | np.ndarray, tag: int = 0):
@@ -181,18 +306,22 @@ class Communicator:
                 # Payload first, header last (seq publishes the fragment).
                 if frag:
                     tx.scratch.write(frag)
-                    yield self.ep.send(
-                        tx.scratch, tx.remote_ring.at(base + _HEADER_BYTES),
+                    yield from self._robust_send(
+                        tx.scratch, tx.remote_ring, base + _HEADER_BYTES,
                         len(frag))
                 header = (_u32(seq) + _u32(tag) + _u32(total)
                           + _u32(len(frag)))
                 tx.scratch.write(header, offset=self.slot_bytes)
-                yield self.ep.send(
-                    tx.scratch, tx.remote_ring.at(base), _HEADER_BYTES,
+                yield from self._robust_send(
+                    tx.scratch, tx.remote_ring, base, _HEADER_BYTES,
                     src_offset=self.slot_bytes)
                 tx.next_seq += 1
                 self.fragments_sent += 1
                 offset += len(frag)
+                if self.resilient:
+                    # Stop-and-wait: hold the fragment until acked so a
+                    # cold-crash window can't swallow it silently.
+                    yield from self._await_credit(dst, tx, seq)
             tx.lock.release(grant)
             self.messages_sent += 1
 
@@ -206,13 +335,27 @@ class Communicator:
         rx = self._rx[src]
 
         def run():
+            if rx.lock is None:
+                rx.lock = Resource(self.env, capacity=1)
             while True:
                 queued = rx.pending.get(tag)
                 if queued:
                     self.messages_received += 1
                     return queued.pop(0)
-                got_tag, message = yield self.env.process(
-                    self._next_message(src, rx))
+                # Only one receiver may pull from the wire at a time;
+                # whoever held the channel may have buffered our tag, so
+                # re-check before committing to the next message.
+                grant = rx.lock.request()
+                yield grant
+                try:
+                    queued = rx.pending.get(tag)
+                    if queued:
+                        self.messages_received += 1
+                        return queued.pop(0)
+                    got_tag, message = yield self.env.process(
+                        self._next_message(src, rx))
+                finally:
+                    rx.lock.release(grant)
                 if got_tag == tag:
                     self.messages_received += 1
                     return message
@@ -232,11 +375,30 @@ class Communicator:
             seq = rx.next_seq
             base = ((seq - 1) % rx.nslots) * rx.slot_bytes
             while True:
-                watch = self.ep.watch(rx.ring, base, 4)
+                watches = [self.ep.watch(rx.ring, base, 4)]
+                if self.resilient and seq > 1 and rx.nslots > 1:
+                    # Also watch the previous fragment's slot: a rewrite
+                    # there is the sender retransmitting seq-1, i.e. our
+                    # credit write for it was lost in a crash window.
+                    prev = ((seq - 2) % rx.nslots) * rx.slot_bytes
+                    watches.append(self.ep.watch(rx.ring, prev, 4))
                 yield self.ep.membus.cacheline_fill()
                 if _read_u32(rx.ring, base) == seq:
                     break
-                yield watch
+                if len(watches) > 1:
+                    yield AnyOf(self.env, watches)
+                else:
+                    yield watches[0]
+                if (self.resilient and seq > 1
+                        and _read_u32(rx.ring, base) != seq):
+                    # Woken by a duplicate retransmission (prev slot, or
+                    # the same slot when nslots == 1): re-ack the last
+                    # fragment we consumed so the sender unblocks.
+                    self.credit_reacks += 1
+                    rx.credit_scratch.write(_u32(seq - 1))
+                    yield from self._robust_send(
+                        rx.credit_scratch, self._tx[src].credit_at_peer,
+                        0, 4)
             msg_tag = _read_u32(rx.ring, base + 4)
             total = _read_u32(rx.ring, base + 8)
             frag_len = _read_u32(rx.ring, base + 12)
@@ -248,8 +410,8 @@ class Communicator:
             # Return credit: write the consumed sequence number straight
             # into the sender's exported credit word.
             rx.credit_scratch.write(_u32(seq))
-            yield self.ep.send(rx.credit_scratch,
-                               self._tx[src].credit_at_peer.at(0), 4)
+            yield from self._robust_send(
+                rx.credit_scratch, self._tx[src].credit_at_peer, 0, 4)
         return msg_tag, b"".join(chunks)
 
     # -- numpy conveniences --------------------------------------------------------
@@ -264,22 +426,37 @@ class Communicator:
         return self.env.process(run(), name="mp.recv_array")
 
 
-def build_world(cluster, nslots: int = DEFAULT_SLOTS,
-                slot_bytes: int = DEFAULT_SLOT_BYTES) -> list[Communicator]:
-    """Create one rank per cluster node, fully wired; runs the cluster's
-    environment until setup completes."""
+def wire_world(cluster, nslots: int = DEFAULT_SLOTS,
+               slot_bytes: int = DEFAULT_SLOT_BYTES,
+               resilient: bool = False, prefix: str = "mp"):
+    """Process: create one rank per cluster node and wire every channel;
+    the process's value is the list of :class:`Communicator` s.  Usable
+    from *inside* a running simulation (unlike :func:`build_world`, which
+    drives the environment itself)."""
     env = cluster.env
     comms = []
     for index, node in enumerate(cluster.nodes):
-        _, ep = node.attach_process(f"mp.rank{index}")
+        _, ep = node.attach_process(f"{prefix}.rank{index}")
         comms.append(Communicator(index, len(cluster.nodes), ep,
-                                  nslots=nslots, slot_bytes=slot_bytes))
+                                  nslots=nslots, slot_bytes=slot_bytes,
+                                  resilient=resilient, prefix=prefix))
 
     def wire():
         for comm in comms:
             yield comm.setup_exports()
         for comm in comms:
             yield comm.connect(lambda rank: f"node{rank}")
+        return comms
 
-    env.run(until=env.process(wire()))
-    return comms
+    return env.process(wire(), name=f"{prefix}.wire_world")
+
+
+def build_world(cluster, nslots: int = DEFAULT_SLOTS,
+                slot_bytes: int = DEFAULT_SLOT_BYTES,
+                resilient: bool = False,
+                prefix: str = "mp") -> list[Communicator]:
+    """Create one rank per cluster node, fully wired; runs the cluster's
+    environment until setup completes."""
+    return cluster.env.run(until=wire_world(
+        cluster, nslots=nslots, slot_bytes=slot_bytes,
+        resilient=resilient, prefix=prefix))

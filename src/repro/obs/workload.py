@@ -26,6 +26,7 @@ def run_contract_workload() -> tuple[Tracer, MetricsRegistry]:
     """Run the workload; returns its (full) tracer and metrics registry."""
     # Local imports: this module sits below repro.cluster in the layering.
     from repro.cluster import Cluster, TestbedConfig
+    from repro.dsm import wire_dsm_world
     from repro.faults import (
         DAEMON_CRASH,
         FaultCampaign,
@@ -34,6 +35,7 @@ def run_contract_workload() -> tuple[Tracer, MetricsRegistry]:
         LANAI_STALL,
         LINK_DOWN,
         LINK_ERROR_BURST,
+        PhaseSchedule,
         SWITCH_PORT_DOWN,
     )
     from repro.vmmc.reliable import open_channel
@@ -119,6 +121,42 @@ def run_contract_workload() -> tuple[Tracer, MetricsRegistry]:
         # must still be open when the datagram lands.)
         ep_a.import_buffer("node1", "obs_missing")
         yield driving
+        yield env.timeout(100_000)
+
+        # -- DSM stage: page faults, coherence actions, sync --------------
+        # A two-rank shared segment: rank 0 allocates and writes (home
+        # page, local hit), rank 1 read-faults the page in (fetch), then
+        # write-faults it (invalidating rank 0's copy) — touching every
+        # `dsm.*` e2e trace point plus the phase announcement.
+        segments = yield wire_dsm_world(cluster, npages=8, page_bytes=128)
+        schedule = PhaseSchedule(env)
+        schedule.enter("dsm")
+        shared: dict = {}
+
+        def dsm_rank0():
+            seg = segments[0]
+            base = yield from seg.alloc(2 * 128)
+            shared["base"] = base
+            yield from seg.lock(1)
+            yield from seg.write_u32(base, 41)
+            yield from seg.unlock(1)
+            yield from seg.barrier()
+            yield from seg.barrier()  # rank 1's ops are done
+
+        def dsm_rank1():
+            seg = segments[1]
+            yield from seg.barrier()  # base is published
+            base = shared["base"]
+            value = yield from seg.read_u32(base)
+            yield from seg.lock(1)
+            yield from seg.write_u32(base, value + 1)
+            yield from seg.unlock(1)
+            yield from seg.barrier()
+
+        rank0 = env.process(dsm_rank0(), name="obs.dsm0")
+        rank1 = env.process(dsm_rank1(), name="obs.dsm1")
+        yield rank0
+        yield rank1
         yield env.timeout(100_000)
 
     env.run(until=env.process(app(), name="obs.contract"))

@@ -117,6 +117,12 @@ class ExportHandle:
         self.state = LifecycleState.REESTABLISHED
         self.reestablishments += 1
 
+    def mark_lost(self) -> None:
+        """Daemon cold boot lost this export's registration.  Under lazy
+        re-registration (the default) it stays STALE until the first
+        import RPC that names it re-installs it (→ REESTABLISHED)."""
+        self.state = LifecycleState.STALE
+
     def revoke(self) -> None:
         self.state = LifecycleState.REVOKED
 

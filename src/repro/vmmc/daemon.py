@@ -135,6 +135,16 @@ class VMMCDaemon:
         self.invalidations_rx = 0
         self.imports_invalidated = 0
         self.exports_reestablished = 0
+        #: Re-register lost exports lazily, on the first import RPC that
+        #: names them, instead of eagerly during cold boot.  Lazy is the
+        #: default: a cold boot then costs O(1) regardless of how many
+        #: exports the node carries (a large DSM frame table restarts
+        #: cheap), and exports nobody re-imports are never re-installed.
+        self.lazy_reexport = True
+        #: name → (endpoint, handle) of exports lost in a cold restart,
+        #: awaiting their first import request.
+        self._lazy_pending: dict[str, tuple] = {}
+        self.lazy_reexports = 0
 
     def start(self) -> None:
         if self._started:
@@ -238,12 +248,20 @@ class VMMCDaemon:
         for endpoint in self.endpoints:
             n = endpoint.invalidate_imports(reason="local_cold_restart")
             self.imports_invalidated += n
-        # 3. Re-register surviving exports from the attached libraries
-        #    (before the broadcast, so peers that re-import immediately
-        #    find the export back in place).
+        # 3. Re-register surviving exports from the attached libraries.
+        #    Lazy (default): only *note* the lost exports; each is
+        #    re-installed by the first import RPC that names it
+        #    (`_serve_import`), so cold boot is O(1) in the export count.
+        #    Eager (``lazy_reexport=False``): re-install everything now,
+        #    before the broadcast, so peers that re-import immediately
+        #    find the export back in place.
         for endpoint in self.endpoints:
             for handle in endpoint.export_handles():
                 if handle.name not in lost:
+                    continue
+                if self.lazy_reexport:
+                    handle.mark_lost()
+                    self._lazy_pending[handle.name] = (endpoint, handle)
                     continue
                 record = yield self._install_export(
                     endpoint.process, handle.buffer, handle.name,
@@ -255,6 +273,9 @@ class VMMCDaemon:
                       node=self.node_name)
                 emit(self.env, f"{self.address}.reexport",
                      name=handle.name, buffer_id=record.buffer_id)
+        if self._lazy_pending:
+            emit(self.env, f"{self.address}.reexport_deferred",
+                 pending=len(self._lazy_pending))
         # 4. Broadcast the invalidation (new epoch) to every peer daemon.
         for peer in self.ether.endpoints():
             if peer == self.address or not peer.startswith("daemon."):
@@ -303,7 +324,7 @@ class VMMCDaemon:
         """
         def run():
             yield self.env.timeout(LOCAL_IPC_NS)
-            if name in self.exports:
+            if name in self.exports or name in self._lazy_pending:
                 raise ExportError(
                     f"{self.node_name}: export name {name!r} already in use")
             if buffer.space is not process.space:
@@ -324,6 +345,14 @@ class VMMCDaemon:
         def run():
             yield self.env.timeout(LOCAL_IPC_NS)
             record = self.exports.get(name)
+            if record is None and name in self._lazy_pending:
+                # Lost in a cold restart, never re-imported since: the
+                # pages are already unlocked and the incoming entries
+                # already revoked (cold-boot teardown) — just forget it.
+                _, handle = self._lazy_pending.pop(name)
+                if handle.record.owner_pid == process.pid:
+                    return
+                raise ExportError(f"no export {name!r} owned by caller")
             if record is None or record.owner_pid != process.pid:
                 raise ExportError(f"no export {name!r} owned by caller")
             yield self.driver.revoke_incoming_entries(record.frames)
@@ -475,7 +504,33 @@ class VMMCDaemon:
             else:
                 emit(self.env, "daemon.unknown_op", op=op)
 
+    def _lazy_reestablish(self, name: str):
+        """Process body: first import RPC naming a lazily-deferred lost
+        export — re-install it now (fresh buffer id, pages re-locked,
+        incoming entries back) and flip the surviving handle to
+        REESTABLISHED.  This is the restart-cheap half of the recovery
+        protocol: the re-registration cost is paid per *re-imported*
+        export, not per cold boot."""
+        endpoint, handle = self._lazy_pending.pop(name)
+        if not handle.usable and handle.state.value == "revoked":
+            return  # unexported while pending; stay gone
+        record = yield self._install_export(
+            endpoint.process, handle.buffer, name,
+            allowed_importers=handle.record.allowed_importers,
+            notify=False)
+        handle.reestablish(record)
+        self.exports_reestablished += 1
+        self.lazy_reexports += 1
+        count(self.env, "daemon.exports_reestablished",
+              node=self.node_name)
+        count(self.env, "daemon.lazy_reexports", node=self.node_name)
+        emit(self.env, f"{self.address}.reexport", name=name,
+             buffer_id=record.buffer_id, lazy=True)
+
     def _serve_import(self, reply_to: str, message: dict):
+        if message["name"] not in self.exports \
+                and message["name"] in self._lazy_pending:
+            yield from self._lazy_reestablish(message["name"])
         record = self.exports.get(message["name"])
         node_index = self.driver.lcp.node_index
         if record is None:

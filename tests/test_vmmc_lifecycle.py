@@ -203,9 +203,12 @@ def test_peer_cold_restart_invalidates_imports_and_reimport_recovers():
     assert imported.state is LifecycleState.STALE
     assert imported.stale_reason == "peer_cold_restart"
     assert fired and fired[0]["reason"] == "peer_cold_restart"
-    # The export was re-registered under a fresh buffer id.
-    assert handle.state is LifecycleState.REESTABLISHED
-    assert cluster.nodes[1].daemon.exports_reestablished == 1
+    # Lazy re-registration (the default): the lost export is only *noted*
+    # at cold boot — the handle sits STALE and nothing is re-installed
+    # until the first import RPC names it.
+    assert handle.state is LifecycleState.STALE
+    assert cluster.nodes[1].daemon.exports_reestablished == 0
+    assert cluster.nodes[1].daemon.lazy_reexports == 0
 
     def app():
         src = sender.alloc_buffer(4096)
@@ -223,6 +226,33 @@ def test_peer_cold_restart_invalidates_imports_and_reimport_recovers():
     assert inbox.read(0, 9).tobytes() == b"recovered"
     assert sender.stale_sends_blocked == 1
     assert sender.reimports == 1
+    # The reimport's import RPC drove the lazy re-registration: fresh
+    # buffer id, handle REESTABLISHED, exactly one re-install.
+    assert handle.state is LifecycleState.REESTABLISHED
+    assert cluster.nodes[1].daemon.exports_reestablished == 1
+    assert cluster.nodes[1].daemon.lazy_reexports == 1
+
+
+def test_eager_cold_restart_reexports_at_boot():
+    """``lazy_reexport=False`` keeps the original protocol: every lost
+    export is re-installed during cold boot, before the broadcast."""
+    cluster = small_cluster()
+    env = cluster.env
+    cluster.nodes[1].daemon.lazy_reexport = False
+    sender, _, state = wire_pair(cluster)
+    imported, handle = state["imported"], state["handle"]
+
+    cluster.nodes[1].daemon.restart(cold=True)
+    drain(env, 2000)
+    assert handle.state is LifecycleState.REESTABLISHED
+    assert cluster.nodes[1].daemon.exports_reestablished == 1
+    assert cluster.nodes[1].daemon.lazy_reexports == 0
+
+    def app():
+        yield sender.reimport(imported)
+        assert imported.usable
+
+    env.run(until=env.process(app()))
 
 
 def test_local_cold_restart_marks_own_imports_stale():
@@ -326,7 +356,6 @@ def test_notifications_dropped_by_cold_restart():
 
     cluster.nodes[1].daemon.restart(cold=True)
     drain(env, 2000)
-    assert handle.record.buffer_id != old_buffer_id
 
     def app():
         yield sender.reimport(imported)
@@ -335,6 +364,9 @@ def test_notifications_dropped_by_cold_restart():
         yield sender.send(src, imported.at(0), 6)
 
     env.run(until=env.process(app()))
+    # The reimport re-installed the export lazily, under a fresh buffer
+    # id — whose notification arming did not survive.
+    assert handle.record.buffer_id != old_buffer_id
     drain(env, 1000)
     # Data still arrives, but the notification arming did not survive.
     assert inbox.read(0, 6).tobytes() == b"silent"
