@@ -3,23 +3,45 @@
 Every ``bench_*`` file regenerates one table/figure of the paper: it runs
 the simulation harness once (``benchmark.pedantic`` — simulations are
 deterministic, repetition adds nothing), prints the figure's rows, writes
-them to ``benchmarks/out/<name>.txt`` so they survive pytest's output
-capturing, and asserts the paper's *shape* (who wins, by what factor,
-where crossovers fall).
+them under ``benchmarks/out/`` so they survive pytest's output capturing,
+and asserts the paper's *shape* (who wins, by what factor, where
+crossovers fall).
+
+Output layout: each invocation gets its own timestamped run directory,
+``benchmarks/out/<YYYYmmdd-HHMMSS>-pid<pid>/<name>.txt``, so concurrent
+or successive runs never clobber each other's text files.  The whole
+``benchmarks/out/`` tree is scratch space (gitignored); the durable,
+machine-readable perf record is the campaign layer's ``BENCH_<AREA>.json``
+artifacts at the repo root (see docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+import time
 
-OUT_DIR = pathlib.Path(__file__).parent / "out"
+OUT_ROOT = pathlib.Path(__file__).parent / "out"
+
+_RUN_DIR: pathlib.Path | None = None
+
+
+def run_dir() -> pathlib.Path:
+    """This process's private output directory, created on first use."""
+    global _RUN_DIR
+    if _RUN_DIR is None:
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        _RUN_DIR = OUT_ROOT / f"{stamp}-pid{os.getpid()}"
+        _RUN_DIR.mkdir(parents=True, exist_ok=True)
+    return _RUN_DIR
 
 
 def publish(name: str, text: str) -> None:
-    """Print a figure's rows and persist them under benchmarks/out/."""
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
-    print(f"\n{text}\n[saved to benchmarks/out/{name}.txt]")
+    """Print a figure's rows and persist them under the run directory."""
+    path = run_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/out/{path.parent.name}/"
+          f"{path.name}]")
 
 
 def run_once(benchmark, func):

@@ -10,7 +10,8 @@ end-to-end latency **exactly** — the acceptance bar is ≤1 % drift, this
 asserts 0.
 
 Run directly (``pytest benchmarks/bench_latency_breakdown.py``) or in CI
-smoke mode; the table lands in ``benchmarks/out/latency_breakdown.txt``.
+smoke mode; the table lands in this run's timestamped subdirectory of
+``benchmarks/out/`` as ``latency_breakdown.txt``.
 """
 
 import pytest

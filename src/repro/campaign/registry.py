@@ -1,0 +1,185 @@
+"""The registered campaigns — the repo's perf-trajectory surface.
+
+Every entry maps a paper figure/section (or an extension experiment) to
+a :class:`~repro.campaign.spec.CampaignSpec`; ``python -m repro campaign
+list`` prints this table, CI runs every campaign's smoke shape, and the
+committed ``BENCH_<AREA>.json`` baselines at the repo root are the smoke
+artifacts.  docs/BENCHMARKS.md is the handbook entry per campaign.
+
+Third-party / test campaigns can be added at runtime with
+:func:`register`; the fork-based process pool sees them too.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import trials
+from repro.campaign.spec import CampaignSpec, Metric, SpecError
+
+_REGISTRY: dict[str, CampaignSpec] = {}
+
+
+def register(spec: CampaignSpec, *, replace: bool = False) -> CampaignSpec:
+    """Add a campaign; names and areas must be unique."""
+    if not replace:
+        if spec.name in _REGISTRY:
+            raise SpecError(f"campaign {spec.name!r} already registered")
+        taken = {s.area: n for n, s in _REGISTRY.items()}
+        if spec.area in taken:
+            raise SpecError(
+                f"area {spec.area!r} already used by campaign "
+                f"{taken[spec.area]!r} (artifacts would collide)")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_campaign(name: str) -> CampaignSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown campaign {name!r}; registered: "
+            f"{', '.join(campaign_names())}") from None
+
+
+def campaign_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def all_campaigns() -> list[CampaignSpec]:
+    return [_REGISTRY[name] for name in campaign_names()]
+
+
+# -- the built-in table ----------------------------------------------------
+register(CampaignSpec(
+    name="latency", area="LATENCY",
+    title="VMMC one-way latency (ping-pong)",
+    paper_ref="Figure 2 / section 5.3",
+    trial=trials.latency_trial,
+    grid={"size": (4, 16, 64, 128, 256)},
+    fixed={"iters": 10},
+    seeds=(0,),
+    metrics=(
+        Metric("one_way_us", "us", "lower", 10.0),
+    ),
+    expected_runtime="~10 s",
+))
+
+register(CampaignSpec(
+    name="bandwidth", area="BANDWIDTH",
+    title="VMMC bandwidth (one-way + bidirectional)",
+    paper_ref="Figure 3 / section 5.3",
+    trial=trials.bandwidth_trial,
+    grid={"size": (4096, 65536, 262144),
+          "pattern": ("oneway", "bidir")},
+    fixed={"iters": 8},
+    seeds=(0,),
+    metrics=(
+        Metric("mbps", "MB/s", "higher", 10.0),
+    ),
+    smoke_grid={"size": (65536,)},
+    expected_runtime="~1 min",
+))
+
+register(CampaignSpec(
+    name="overhead", area="OVERHEAD",
+    title="send overhead, sync vs async",
+    paper_ref="Figure 4 / section 5.3",
+    trial=trials.overhead_trial,
+    grid={"size": (4, 64, 128, 256, 1024),
+          "mode": ("sync", "async")},
+    fixed={"iters": 6},
+    seeds=(0,),
+    metrics=(
+        Metric("overhead_us", "us", "lower", 10.0),
+    ),
+    smoke_grid={"size": (4, 256)},
+    expected_runtime="~30 s",
+))
+
+register(CampaignSpec(
+    name="dma", area="DMA",
+    title="host<->LANai DMA bandwidth curve",
+    paper_ref="Figure 1 / section 5.1",
+    trial=trials.dma_trial,
+    grid={"size": (64, 256, 1024, 4096, 16384, 65536)},
+    seeds=(0,),
+    metrics=(
+        Metric("mbps", "MB/s", "higher", 5.0),
+    ),
+    expected_runtime="<1 s",
+))
+
+register(CampaignSpec(
+    name="breakdown", area="BREAKDOWN",
+    title="trace-derived per-stage latency of one send",
+    paper_ref="section 5.2",
+    trial=trials.breakdown_trial,
+    grid={"size": (4, 128)},
+    seeds=(0,),
+    metrics=(
+        Metric("total_us", "us", "lower", 10.0),
+        Metric("post_us", "us", "info"),
+        Metric("lanai_send_us", "us", "info"),
+        Metric("wire_us", "us", "info"),
+        Metric("lanai_recv_us", "us", "info"),
+        Metric("deliver_us", "us", "info"),
+    ),
+    expected_runtime="~5 s",
+))
+
+register(CampaignSpec(
+    name="vrpc", area="VRPC",
+    title="vRPC null round trip",
+    paper_ref="section 5.4",
+    trial=trials.vrpc_trial,
+    grid={"iters": (10,)},
+    seeds=(0,),
+    metrics=(
+        Metric("null_rtt_us", "us", "lower", 10.0),
+    ),
+    expected_runtime="~5 s",
+))
+
+register(CampaignSpec(
+    name="chaos", area="CHAOS",
+    title="reliable sender under seeded error bursts, static vs adaptive",
+    paper_ref="extension of section 4.2 (E-chaos / E-congestion)",
+    trial=trials.chaos_trial,
+    grid={"mode": ("static", "adaptive")},
+    fixed={"messages": 60, "size": 1024},
+    seeds=tuple(range(10)),
+    metrics=(
+        Metric("goodput_mbps", "MB/s", "higher", 10.0),
+        Metric("delivered_intact", "messages", "info"),
+        Metric("retransmits", "count", "info"),
+        Metric("crc_drops", "count", "info"),
+        Metric("elapsed_ns", "ns", "info"),
+    ),
+    smoke_seeds=tuple(range(4)),
+    expected_runtime="~2 min",
+))
+
+register(CampaignSpec(
+    name="dsm", area="DSM",
+    title="DSM coherence workload under chaos scenarios",
+    paper_ref="extension of section 1's DSM motivation (E-dsm)",
+    trial=trials.dsm_trial,
+    grid={"scenario": ("clean", "error-burst", "daemon-cold-crash")},
+    fixed={"nnodes": 4, "npages": 64, "page_bytes": 256,
+           "ops_per_node": 24},
+    seeds=tuple(range(16)),
+    metrics=(
+        Metric("pages_per_sec", "pages/s", "higher", 10.0),
+        Metric("fetch_p50_ns", "ns", "lower", 15.0),
+        Metric("fetch_p99_ns", "ns", "lower", 25.0),
+        Metric("invalidations_per_write", "ratio", "info"),
+        Metric("faults", "count", "info"),
+        Metric("workload_ns", "ns", "info"),
+    ),
+    smoke_seeds=tuple(range(4)),
+    expected_runtime="~4 min",
+))

@@ -20,6 +20,12 @@ dsm-bench    extension — seeded DSM coherence workload (page faults,
              invalidations, fetch latency) under clean/chaos scenarios,
              gated on the sequential-consistency checker and
              byte-identical reruns (``--report`` for JSON)
+campaign     experiment campaigns — ``list|run|resume|report|diff``:
+             declarative grid x seed sweeps fanned out over a process
+             pool, aggregated (min/median/mean/CI) into schema-versioned
+             ``BENCH_<AREA>.json`` artifacts at the repo root, with
+             ``diff`` as the CI regression gate against the committed
+             baselines (handbook: docs/BENCHMARKS.md)
 metrics      observability — metrics snapshot of the instrumented
              contract workload (``--json`` for machine consumption)
 trace        observability — Perfetto / Chrome trace-event export of the
@@ -404,8 +410,9 @@ def _chaos_cold_crash(args, run_cold_crash_point) -> int:
 
 def cmd_dsm_bench(args) -> int:
     """``dsm-bench``: seeded DSM trials, SC-checker and determinism
-    gated; ``--report`` writes the machine-readable sweep (the committed
-    ``BENCH_DSM.json`` is the ``--smoke`` shape of it)."""
+    gated; ``--report`` writes the raw per-trial sweep.  The committed
+    ``BENCH_DSM.json`` baseline is produced by ``campaign run dsm``
+    (docs/BENCHMARKS.md), which aggregates the same trials per cell."""
     import json
 
     from repro.dsm.bench import SCENARIOS, run_dsm_sweep, run_dsm_trial
@@ -467,6 +474,203 @@ def cmd_dsm_bench(args) -> int:
             fh.write("\n")
         print(f"report written to {args.report}")
     return 0 if ok else 1
+
+
+# -- campaign orchestration (docs/BENCHMARKS.md) ---------------------------
+def _campaign_artifact_path(spec, args) -> str:
+    """Where a campaign's artifact goes: --out beats --out-dir beats the
+    repo-root default ``BENCH_<AREA>.json``."""
+    if getattr(args, "out", None):
+        return args.out
+    if getattr(args, "out_dir", None):
+        import pathlib
+
+        return str(pathlib.Path(args.out_dir) / spec.artifact_name)
+    return spec.artifact_name
+
+
+def _campaign_cell_table(spec, artifact) -> str:
+    """Per-cell medians (±95 % CI where seeds > 1) as a text table."""
+    metric_names = [m.name for m in spec.metrics]
+    columns = ["cell"] + [f"{name} ({spec.metric(name).unit})"
+                          for name in metric_names] + ["gates"]
+    rows = []
+    for cell in artifact["cells"]:
+        row: list[object] = [cell["key"]]
+        for name in metric_names:
+            agg = cell["metrics"][name]
+            value = f"{agg['median']:g}"
+            if agg["n"] > 1 and agg["ci95"]:
+                value += f" ±{agg['ci95']:g}"
+            row.append(value)
+        row.append("FAIL " + ",".join(cell["gates_failed"])
+                   if cell["gates_failed"] else "ok")
+        rows.append(row)
+    shape = (f"{len(artifact['cells'])} cells x "
+             f"{len(artifact['seeds'])} seeds"
+             + (" [smoke]" if artifact["smoke"] else ""))
+    return format_table(f"campaign {spec.name}: {spec.title} ({shape})",
+                        columns, rows)
+
+
+def _reject_single_out(args) -> bool:
+    if getattr(args, "out", None) and len(args.name) > 1:
+        print("ERROR: --out names one file; use --out-dir with several "
+              "campaigns")
+        return True
+    return False
+
+
+def _run_campaigns(args, resume: bool) -> int:
+    from repro.campaign import (IncompleteRunError, build_artifact,
+                                get_campaign, run_campaign, write_artifact)
+
+    if _reject_single_out(args):
+        return 1
+    failures = 0
+    for name in args.name:
+        spec = get_campaign(name)
+        summary = run_campaign(
+            spec, smoke=args.smoke, jobs=args.jobs, resume=resume,
+            state_root=args.state_root, max_trials=args.max_trials,
+            progress=print)
+        if not summary["complete"]:
+            print(f"campaign {name}: stopped after "
+                  f"{summary['trials_executed']} trial(s) (--max-trials); "
+                  f"resume with `python -m repro campaign resume {name}"
+                  + (" --smoke" if args.smoke else "") + "`")
+            failures += 1
+            continue
+        try:
+            artifact = build_artifact(spec, smoke=args.smoke,
+                                      state_root=args.state_root)
+        except IncompleteRunError as exc:
+            print(f"ERROR: {exc}")
+            failures += 1
+            continue
+        print(_campaign_cell_table(spec, artifact))
+        path = _campaign_artifact_path(spec, args)
+        write_artifact(artifact, path)
+        print(f"artifact written to {path}")
+        if artifact["cells_with_failed_gates"]:
+            print(f"campaign {name}: "
+                  f"{artifact['cells_with_failed_gates']} cell(s) with "
+                  "FAILED trial gates")
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_campaign_list(args) -> int:
+    from repro.campaign import all_campaigns
+
+    rows = []
+    for spec in all_campaigns():
+        grid = spec.resolved_grid(smoke=False)
+        rows.append([
+            spec.name, spec.artifact_name, spec.paper_ref,
+            " x ".join(f"{k}[{len(v)}]" for k, v in grid.items()) or "-",
+            len(spec.resolved_seeds(smoke=False)),
+            len(spec.cells(smoke=True)) * len(spec.resolved_seeds(True)),
+            spec.expected_runtime,
+        ])
+    print(format_table(
+        "Registered campaigns (docs/BENCHMARKS.md is the handbook)",
+        ["name", "artifact", "reproduces", "grid", "seeds",
+         "smoke trials", "full runtime"], rows))
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    return _run_campaigns(args, resume=False)
+
+
+def cmd_campaign_resume(args) -> int:
+    return _run_campaigns(args, resume=True)
+
+
+def cmd_campaign_report(args) -> int:
+    from repro.campaign import (IncompleteRunError, build_artifact,
+                                get_campaign, write_artifact)
+
+    if _reject_single_out(args):
+        return 1
+    failures = 0
+    for name in args.name:
+        spec = get_campaign(name)
+        try:
+            artifact = build_artifact(spec, smoke=args.smoke,
+                                      state_root=args.state_root)
+        except IncompleteRunError as exc:
+            print(f"ERROR: {exc}")
+            failures += 1
+            continue
+        print(_campaign_cell_table(spec, artifact))
+        path = _campaign_artifact_path(spec, args)
+        write_artifact(artifact, path)
+        print(f"artifact written to {path}")
+        if artifact["cells_with_failed_gates"]:
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_campaign_diff(args) -> int:
+    import pathlib
+
+    from repro.campaign import (build_artifact, diff_artifacts,
+                                get_campaign, load_artifact, run_campaign,
+                                write_artifact)
+
+    if _reject_single_out(args):
+        return 1
+    failures = 0
+    for name in args.name:
+        spec = get_campaign(name)
+        baseline_path = args.baseline or spec.artifact_name
+        try:
+            baseline = load_artifact(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"ERROR: cannot read baseline {baseline_path}: {exc}")
+            failures += 1
+            continue
+        if args.candidate:
+            candidate = load_artifact(args.candidate)
+        elif args.candidate_dir:
+            candidate = load_artifact(
+                pathlib.Path(args.candidate_dir) / spec.artifact_name)
+        else:
+            # No candidate given: run the campaign fresh, same shape as
+            # the baseline artifact records.
+            smoke = args.smoke or baseline.get("smoke", False)
+            run_campaign(spec, smoke=smoke, jobs=args.jobs, resume=False,
+                         state_root=args.state_root, progress=print)
+            candidate = build_artifact(spec, smoke=smoke,
+                                       state_root=args.state_root)
+            if args.out or args.out_dir:
+                path = _campaign_artifact_path(spec, args)
+                write_artifact(candidate, path)
+                print(f"candidate artifact written to {path}")
+        result = diff_artifacts(baseline, candidate,
+                                max_regression_pct=args.max_regression)
+        rows = [[row.cell, row.metric, f"{row.baseline:g}",
+                 f"{row.candidate:g}",
+                 "-" if row.delta_pct is None else f"{row.delta_pct:+.2f}%",
+                 f"{row.threshold_pct:g}%", row.status]
+                for row in result.rows]
+        print(format_table(
+            f"campaign diff {name}: candidate vs baseline "
+            f"({baseline_path}), cell medians",
+            ["cell", "metric", "baseline", "candidate", "delta",
+             "threshold", "status"], rows))
+        for problem in result.problems:
+            print(f"PROBLEM: {problem}")
+        for key in result.new_cells:
+            print(f"note: cell {key!r} is new in the candidate "
+                  "(not gated)")
+        print(f"campaign {name} regression gate: "
+              + ("PASS" if result.ok else "FAIL"))
+        if not result.ok:
+            failures += 1
+    return 1 if failures else 0
 
 
 def cmd_metrics(args) -> int:
@@ -629,6 +833,76 @@ def build_parser() -> argparse.ArgumentParser:
     dsm.add_argument("--report", metavar="FILE",
                      help="write the JSON sweep report")
     dsm.set_defaults(func=cmd_dsm_bench)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="experiment campaigns: grid x seeds -> BENCH_<AREA>.json "
+             "artifacts + CI regression gate (docs/BENCHMARKS.md)")
+    csub = camp.add_subparsers(dest="action", required=True)
+
+    def _campaign_common(sp, names: bool = True):
+        if names:
+            sp.add_argument("name", nargs="+",
+                            help="registered campaign name(s); "
+                                 "see `campaign list`")
+        sp.add_argument("--smoke", action="store_true",
+                        help="the reduced CI shape (committed baselines "
+                             "are smoke artifacts)")
+        sp.add_argument("--state-root", metavar="DIR", default=None,
+                        help="root for per-campaign trial state "
+                             "(default benchmarks/out/campaigns)")
+        sp.add_argument("--out", metavar="FILE", default=None,
+                        help="artifact path (single campaign only; "
+                             "default ./BENCH_<AREA>.json)")
+        sp.add_argument("--out-dir", metavar="DIR", default=None,
+                        help="directory for BENCH_<AREA>.json artifacts")
+
+    clist = csub.add_parser("list", help="registered campaigns")
+    clist.set_defaults(func=cmd_campaign_list)
+
+    crun = csub.add_parser(
+        "run", help="run the grid from scratch and write the artifact")
+    _campaign_common(crun)
+    crun.add_argument("--jobs", type=int, default=None,
+                      help="process-pool width (default: one per core; "
+                           "1 = inline)")
+    crun.add_argument("--max-trials", type=int, default=None,
+                      help="stop after N new trials (leaves a resumable "
+                           "state dir; used to exercise `resume`)")
+    crun.set_defaults(func=cmd_campaign_run)
+
+    cres = csub.add_parser(
+        "resume", help="finish an interrupted run (skips finished trials; "
+                       "the artifact is byte-identical to an "
+                       "uninterrupted run)")
+    _campaign_common(cres)
+    cres.add_argument("--jobs", type=int, default=None)
+    cres.add_argument("--max-trials", type=int, default=None)
+    cres.set_defaults(func=cmd_campaign_resume)
+
+    crep = csub.add_parser(
+        "report", help="re-aggregate a finished run without re-running")
+    _campaign_common(crep)
+    crep.set_defaults(func=cmd_campaign_report)
+
+    cdiff = csub.add_parser(
+        "diff", help="regression gate: candidate artifact vs the "
+                     "committed baseline (no candidate -> fresh run)")
+    _campaign_common(cdiff)
+    cdiff.add_argument("--baseline", metavar="FILE", default=None,
+                       help="baseline artifact "
+                            "(default ./BENCH_<AREA>.json)")
+    cdiff.add_argument("--candidate", metavar="FILE", default=None,
+                       help="candidate artifact (default: run fresh)")
+    cdiff.add_argument("--candidate-dir", metavar="DIR", default=None,
+                       help="directory holding candidate "
+                            "BENCH_<AREA>.json artifacts")
+    cdiff.add_argument("--jobs", type=int, default=None)
+    cdiff.add_argument("--max-regression", type=float, default=None,
+                       metavar="PCT",
+                       help="override every metric's regression "
+                            "threshold (percent)")
+    cdiff.set_defaults(func=cmd_campaign_diff)
 
     met = sub.add_parser(
         "metrics", help="metrics snapshot of the instrumented workload")
