@@ -12,7 +12,7 @@ from repro.sim import Environment
 from repro.mem import PhysicalMemory
 from repro.hw.bus.pci import PCIBus
 from repro.hw.lanai.nic import LanaiNIC
-from repro.hw.myrinet.network import MyrinetNetwork
+from repro.hw.myrinet import topology
 from repro.bench.report import Series, format_series
 
 from _util import publish, run_once
@@ -26,7 +26,7 @@ def measure_dma_curve() -> Series:
     series = Series("host<->LANai DMA")
     for size in SIZES:
         env = Environment()
-        net = MyrinetNetwork.single_switch(env, 2)
+        net = topology.build(topology.SingleSwitchSpec(nhosts_=2), env)
         memory = PhysicalMemory(4 * 1024 * 1024, scatter=False)
         nic = LanaiNIC(env, net, "node0", PCIBus(env), memory)
         repeats = 8

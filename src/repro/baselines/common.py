@@ -20,7 +20,7 @@ from repro.mem.virtual import AddressSpace
 from repro.hw.bus.membus import MemoryBus
 from repro.hw.bus.pci import PCIBus
 from repro.hw.lanai.nic import LanaiNIC
-from repro.hw.myrinet.network import MyrinetNetwork
+from repro.hw.myrinet import topology
 from repro.hw.myrinet.packet import MyrinetPacket, PacketHeader
 
 
@@ -46,7 +46,8 @@ class ProtocolPair:
     def __init__(self, memory_mb: int = 16,
                  env: Environment | None = None):
         self.env = env or Environment()
-        self.fabric = MyrinetNetwork.single_switch(self.env, 2)
+        self.fabric = topology.build(topology.SingleSwitchSpec(nhosts_=2),
+                                     self.env)
         self.nodes: list[ProtocolNode] = []
         for i in range(2):
             name = f"node{i}"

@@ -164,6 +164,30 @@ register(CampaignSpec(
 ))
 
 register(CampaignSpec(
+    name="fabric", area="FABRIC",
+    title="multi-switch fabric scale-out: bandwidth + route distributions",
+    paper_ref="extension of section 4.3 (topology generators, E-fabric)",
+    trial=trials.fabric_trial,
+    grid={"topology": ("single:8", "dual:8", "fattree:4", "mesh:4x4",
+                       "torus:4x4", "fattree:8,h=2", "mesh:8x8")},
+    fixed={"pairs": 8, "messages": 12, "size": 4096},
+    seeds=(0, 1, 2),
+    metrics=(
+        Metric("delivered_mbps", "MB/s", "higher", 15.0),
+        Metric("route_hops_mean", "hops", "info"),
+        Metric("route_hops_used_mean", "hops", "info"),
+        Metric("diameter_hops", "hops", "info"),
+        Metric("bisection_links", "links", "info"),
+        Metric("nswitches", "count", "info"),
+        Metric("mapping_probes", "count", "info"),
+    ),
+    smoke_grid={"topology": ("single:4", "dual:8", "fattree:4",
+                             "mesh:3x3")},
+    smoke_seeds=(0,),
+    expected_runtime="~4 min",
+))
+
+register(CampaignSpec(
     name="dsm", area="DSM",
     title="DSM coherence workload under chaos scenarios",
     paper_ref="extension of section 1's DSM motivation (E-dsm)",

@@ -144,6 +144,78 @@ def chaos_trial(params: dict, seed: int) -> dict:
     }
 
 
+def fabric_trial(params: dict, seed: int) -> dict:
+    """Fabric scale-out: seeded random pair traffic on one topology.
+
+    Boots the topology via the declarative spec (the mapping LCP proves
+    the routing function deadlock-free at boot), picks ``pairs``
+    disjoint sender/receiver pairs from a seeded permutation, streams
+    VMMC sends concurrently on all of them, and reports delivered
+    aggregate bandwidth plus the fabric's route-length distribution and
+    bisection (the README fabric table is generated from these).
+    """
+    import numpy as np
+
+    from repro.hw.myrinet import topology
+
+    spec = topology.parse(params["topology"])
+    cluster = Cluster.build(TestbedConfig(memory_mb=8), topology=spec)
+    env = cluster.env
+    stats = topology.fabric_stats(cluster.fabric)
+
+    rng = np.random.default_rng(seed)
+    perm = [int(i) for i in rng.permutation(spec.nhosts)]
+    npairs = min(int(params["pairs"]), spec.nhosts // 2)
+    pairs = [(perm[2 * i], perm[2 * i + 1]) for i in range(npairs)]
+    size, messages = int(params["size"]), int(params["messages"])
+
+    table = cluster.fabric.route_table
+    hops = [len(table[(f"node{s}", f"node{d}")]) for s, d in pairs]
+    delivered = {"messages": 0}
+    span = {"t0": None, "t1": 0}
+
+    def stream(s: int, d: int, tag: str):
+        _, ep_rx = cluster.nodes[d].attach_process(f"rx.{tag}")
+        _, ep_tx = cluster.nodes[s].attach_process(f"tx.{tag}")
+        inbox = ep_rx.alloc_buffer(size)
+        yield ep_rx.export(inbox, f"in.{tag}")
+        imported = yield ep_tx.import_buffer(f"node{d}", f"in.{tag}")
+        src = ep_tx.alloc_buffer(size)
+        if span["t0"] is None:
+            span["t0"] = env.now
+        for _ in range(messages):
+            yield ep_tx.send(src, imported.at(0), size)
+            delivered["messages"] += 1
+        span["t1"] = max(span["t1"], env.now)
+
+    procs = [env.process(stream(s, d, f"p{i}"))
+             for i, (s, d) in enumerate(pairs)]
+
+    def wait_all():
+        for proc in procs:
+            yield proc
+
+    env.run(until=env.process(wait_all()))
+    elapsed_ns = max(1, span["t1"] - span["t0"])
+    total_bytes = npairs * messages * size
+    return {
+        "metrics": {
+            # bytes/ns == GB/s, so *1000 gives MB/s.
+            "delivered_mbps": total_bytes / elapsed_ns * 1000.0,
+            "route_hops_mean": stats.route_hops_mean,
+            "route_hops_used_mean": sum(hops) / len(hops),
+            "diameter_hops": stats.diameter_hops,
+            "bisection_links": stats.bisection_links,
+            "nswitches": stats.nswitches,
+            "mapping_probes": cluster.mapping.probes_sent,
+        },
+        "gates": {
+            "deadlock_free": cluster.mapping.deadlock is not None,
+            "all_delivered": delivered["messages"] == npairs * messages,
+        },
+    }
+
+
 def dsm_trial(params: dict, seed: int) -> dict:
     """Seeded DSM coherence workload under one chaos scenario.
 

@@ -673,6 +673,41 @@ def cmd_campaign_diff(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_topology(args) -> int:
+    """Describe generated fabrics: stats table + deadlock proof."""
+    from repro.sim import Environment
+    from repro.hw.myrinet import topology
+
+    if args.list:
+        rows = []
+        for kind in sorted(topology.SPEC_KINDS):
+            cls = topology.SPEC_KINDS[kind]
+            rows.append([kind, ", ".join(cls.EXAMPLES)])
+        print(format_table("Registered topology kinds "
+                           "(repro.hw.myrinet.topology)",
+                           ["kind", "example specs"], rows))
+        return 0
+    rows = []
+    for text in args.spec:
+        spec = topology.parse(text)
+        net = topology.build(spec, Environment())
+        stats = topology.fabric_stats(net)
+        report = topology.check_deadlock_free(net)
+        rows.append([
+            text, stats.nhosts, stats.nswitches, stats.ncables,
+            stats.diameter_hops, f"{stats.route_hops_mean:.2f}",
+            stats.bisection_links,
+            f"cycle-free ({report.channels} ch, "
+            f"{report.dependencies} deps)"])
+        if args.verbose:
+            print(f"{text}: {spec.describe()}")
+    print(format_table(
+        "Generated fabrics (routes proven deadlock-free at build)",
+        ["topology", "hosts", "switches", "cables", "diameter",
+         "mean hops", "bisection", "deadlock check"], rows))
+    return 0
+
+
 def cmd_metrics(args) -> int:
     import json
 
@@ -903,6 +938,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override every metric's regression "
                             "threshold (percent)")
     cdiff.set_defaults(func=cmd_campaign_diff)
+
+    topo = sub.add_parser(
+        "topology",
+        help="describe generated fabrics (stats + deadlock proof)")
+    topo.add_argument("spec", nargs="*",
+                      default=["single:8", "dual:8", "fattree:4",
+                               "fattree:8,h=2", "mesh:4x4", "mesh:8x8",
+                               "torus:4x4"],
+                      help="topology strings, e.g. fattree:8,h=2 mesh:4x4")
+    topo.add_argument("--list", action="store_true",
+                      help="list registered topology kinds and exit")
+    topo.add_argument("--verbose", action="store_true",
+                      help="print each spec's description line")
+    topo.set_defaults(func=cmd_topology)
 
     met = sub.add_parser(
         "metrics", help="metrics snapshot of the instrumented workload")

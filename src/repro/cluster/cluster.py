@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.sim import Environment
-from repro.hw.myrinet.network import MyrinetNetwork
+from repro.hw.myrinet import topology as fabric_topology
+from repro.hw.myrinet.topology import TopologySpec
 from repro.hostos.ethernet import EthernetNetwork
 from repro.vmmc.mapping_lcp import MappingPhase, MappingResult
 from repro.cluster.config import TestbedConfig
@@ -18,6 +19,7 @@ class Cluster:
     Usage::
 
         cluster = Cluster.build()        # 4-node paper testbed, booted
+        big = Cluster.build(topology="fattree:8,h=2")   # 64-node fat-tree
         env = cluster.env
         p0, ep0 = cluster.nodes[0].attach_process("sender")
         p1, ep1 = cluster.nodes[1].attach_process("receiver")
@@ -26,19 +28,19 @@ class Cluster:
 
     def __init__(self, env: Environment, config: TestbedConfig):
         self.env = env
+        #: The resolved, validated fabric spec (declarative ground truth).
+        self.topology: TopologySpec = fabric_topology.resolve(
+            config.topology, nhosts=config.nnodes)
+        if self.topology.nhosts != config.nnodes:
+            # Non-legacy specs fix their own host count; the cluster
+            # follows the fabric.
+            config = config.with_(nnodes=self.topology.nhosts)
         self.config = config
-        if config.topology == "single_switch":
-            self.fabric = MyrinetNetwork.single_switch(
-                env, config.nnodes, config.link)
-        elif config.topology == "dual_switch":
-            self.fabric = MyrinetNetwork.dual_switch(
-                env, config.nnodes, config.link)
-        else:
-            raise ValueError(f"unknown topology {config.topology!r}")
+        self.fabric = fabric_topology.build(self.topology, env, config.link)
         self.ether = EthernetNetwork(env, config.ethernet)
         self.nodes = [
-            Node(env, f"node{i}", i, self.fabric, self.ether, config)
-            for i in range(config.nnodes)
+            Node(env, name, i, self.fabric, self.ether, config)
+            for i, name in enumerate(self.fabric.host_names)
         ]
         self.mapping: Optional[MappingResult] = None
 
@@ -46,10 +48,13 @@ class Cluster:
         """Run the mapping phase, then start every node's LCP + daemon.
 
         Mirrors the section-4.3 life cycle: mapping LCP first, replaced by
-        the VMMC LCP with static routing tables.
+        the VMMC LCP with static routing tables.  The cluster's node
+        numbering is authoritative: the mapping phase verifies and
+        installs routes against these indices.
         """
         phase = MappingPhase(self.env, self.fabric,
-                             {n.name: n.nic for n in self.nodes})
+                             {n.name: n.nic for n in self.nodes},
+                             indices={n.name: n.index for n in self.nodes})
         mapping_proc = phase.run()
         result = self.env.run(until=mapping_proc)
         for node in self.nodes:
@@ -59,9 +64,20 @@ class Cluster:
 
     @classmethod
     def build(cls, config: TestbedConfig | None = None,
-              env: Environment | None = None) -> "Cluster":
-        """Construct and boot a cluster (defaults: the paper's testbed)."""
-        cluster = cls(env or Environment(), config or TestbedConfig())
+              env: Environment | None = None,
+              topology: Union[str, TopologySpec, None] = None) -> "Cluster":
+        """Construct and boot a cluster (defaults: the paper's testbed).
+
+        ``topology`` overrides the config's fabric: a
+        :class:`~repro.hw.myrinet.topology.TopologySpec` or a compact
+        string like ``"fattree:8,h=2"`` / ``"mesh:8x8"``; ``nnodes``
+        follows the spec.
+        """
+        config = config or TestbedConfig()
+        if topology is not None:
+            spec = fabric_topology.resolve(topology, nhosts=config.nnodes)
+            config = config.with_(topology=spec, nnodes=spec.nhosts)
+        cluster = cls(env or Environment(), config)
         cluster.boot()
         return cluster
 

@@ -14,11 +14,13 @@ benchmarks, tests and ablations share a single source of truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Union
 
 from repro.hw.bus.eisa import EISAParams
 from repro.hw.bus.membus import MemoryBusParams
 from repro.hw.bus.pci import PCIParams
 from repro.hw.myrinet.link import LinkParams
+from repro.hw.myrinet.topology import TopologySpec
 from repro.hostos.ethernet import EthernetParams
 from repro.hostos.kernel import KernelParams
 from repro.vmmc.lcp import LCPCosts
@@ -33,7 +35,13 @@ class TestbedConfig:
 
     nnodes: int = 4
     memory_mb: int = 64
-    topology: str = "single_switch"   # or "dual_switch"
+    #: The fabric: a :class:`~repro.hw.myrinet.topology.TopologySpec`, a
+    #: compact string (``"fattree:4"``, ``"mesh:8x8"`` — see
+    #: :func:`repro.hw.myrinet.topology.parse`), or the legacy names
+    #: ``"single_switch"`` / ``"dual_switch"`` sized by ``nnodes``.  When
+    #: the spec fixes its own host count (every non-legacy form),
+    #: :class:`~repro.cluster.Cluster` normalizes ``nnodes`` to match.
+    topology: Union[str, TopologySpec] = "single_switch"
     pci: PCIParams = field(default_factory=PCIParams)
     eisa: EISAParams = field(default_factory=EISAParams)
     membus: MemoryBusParams = field(default_factory=MemoryBusParams)

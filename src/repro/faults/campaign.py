@@ -85,11 +85,17 @@ class FaultEvent:
     =====================  ==================================================
     kind                   target
     =====================  ==================================================
-    ``link_error_burst``   link name (``"node0->sw0"``); ``params["rate"]``
-                           is the per-packet corruption probability while
-                           the burst is active
-    ``link_down``          link name
-    ``switch_port_down``   ``"<switch>:<port>"`` (``"sw0:3"``)
+    ``link_error_burst``   link name (``"node0->sw0"``, or a
+                           generated-topology link such as
+                           ``"ft0:edge[0][0]->ft0:agg[0][1]"``);
+                           ``params["rate"]`` is the per-packet corruption
+                           probability while the burst is active
+    ``link_down``          link name (same forms)
+    ``switch_port_down``   ``"<switch>:<port>"`` — the port may carry a
+                           ``p`` prefix, and the switch may be a
+                           generated-topology name with its own colons:
+                           ``"sw0:3"``, ``"ft0:agg[0][1]:p3"``,
+                           ``"mesh0:sw[1][2]:0"``
     ``lanai_stall``        node name (``"node1"``); the LANai freezes for
                            ``duration_ns``
     ``daemon_crash``       node name; the daemon is dead for ``duration_ns``

@@ -107,6 +107,27 @@ class FaultInjector:
     def _node(self, name: str):
         return self.cluster.node(name)
 
+    def _switch_port(self, target: str):
+        """Resolve a ``switch_port_down`` target to (switch, port).
+
+        The target is ``<switch>:<port>``; the port token may carry a
+        ``p`` prefix.  Generated-topology switch names contain colons
+        themselves (``ft0:agg[0][1]:p3``, ``mesh0:sw[1][2]:3``), so only
+        the *last* colon splits off the port.
+        """
+        switch_name, sep, port = target.rpartition(":")
+        token = port[1:] if port[:1] == "p" else port
+        if not sep or not token.isdigit():
+            raise ValueError(
+                f"bad switch_port_down target {target!r} "
+                "(want '<switch>:<port>', e.g. 'sw0:3' or "
+                "'ft0:agg[0][1]:p3')")
+        if switch_name not in self.cluster.fabric.switches:
+            raise KeyError(
+                f"no switch {switch_name!r} in fabric (target {target!r}); "
+                f"have: {sorted(self.cluster.fabric.switches)}")
+        return self.cluster.fabric.switches[switch_name], int(token)
+
     def _apply(self, event: FaultEvent):
         """Raise one fault (instantaneous state flip).  Returns an opaque
         handle that :meth:`_clear` needs to release exactly this raise
@@ -118,8 +139,8 @@ class FaultInjector:
         if event.kind == LINK_DOWN:
             fabric.find_link(event.target).set_down()
         elif event.kind == SWITCH_PORT_DOWN:
-            switch_name, port = event.target.rsplit(":", 1)
-            fabric.switches[switch_name].set_port_down(int(port))
+            switch, port = self._switch_port(event.target)
+            switch.set_port_down(port)
         elif event.kind == LANAI_STALL:
             self._node(event.target).nic.processor.stall(event.duration_ns)
         elif event.kind in (DAEMON_CRASH, DAEMON_COLD_CRASH):
@@ -136,8 +157,8 @@ class FaultInjector:
         elif event.kind == LINK_DOWN:
             fabric.find_link(event.target).set_up()
         elif event.kind == SWITCH_PORT_DOWN:
-            switch_name, port = event.target.rsplit(":", 1)
-            fabric.switches[switch_name].set_port_up(int(port))
+            switch, port = self._switch_port(event.target)
+            switch.set_port_up(port)
         elif event.kind == LANAI_STALL:
             pass  # the stall expires on its own inside the processor
         elif event.kind == DAEMON_CRASH:

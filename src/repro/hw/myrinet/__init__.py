@@ -10,21 +10,44 @@ Models the properties the paper relies on (section 3):
 * hardware CRC-8 appended on send and checked on arrival, with a very low
   bit error rate; errors are *detected but not recovered* (section 4.2),
 * back-pressure flow control (a blocked output port stalls the worm).
+
+Fabrics beyond the paper's testbed come from the declarative topology
+layer (:mod:`repro.hw.myrinet.topology`): fat-tree/Clos and 2-D
+mesh/torus generators with per-topology deadlock-free source routing,
+proven cycle-free by a channel-dependency-graph check at build time.
 """
 
 from repro.hw.myrinet.crc import crc8
 from repro.hw.myrinet.packet import MyrinetPacket, PacketHeader
 from repro.hw.myrinet.link import Link, LinkParams
-from repro.hw.myrinet.switch import Switch
-from repro.hw.myrinet.network import MyrinetNetwork, PortRef
+from repro.hw.myrinet.switch import PortRangeError, Switch
+from repro.hw.myrinet.network import MyrinetNetwork, PortRef, natural_key
+from repro.hw.myrinet.topology import (
+    DualSwitchSpec,
+    FatTreeSpec,
+    MeshSpec,
+    RoutingDeadlockError,
+    SingleSwitchSpec,
+    TopologyError,
+    TopologySpec,
+)
 
 __all__ = [
+    "DualSwitchSpec",
+    "FatTreeSpec",
     "Link",
     "LinkParams",
+    "MeshSpec",
     "MyrinetNetwork",
     "MyrinetPacket",
     "PacketHeader",
+    "PortRangeError",
     "PortRef",
+    "RoutingDeadlockError",
+    "SingleSwitchSpec",
     "Switch",
+    "TopologyError",
+    "TopologySpec",
     "crc8",
+    "natural_key",
 ]

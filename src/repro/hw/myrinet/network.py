@@ -6,10 +6,20 @@ mapping LCP discovers: it holds the device graph (networkx) and can compute
 the source-route byte string between any two hosts — but protocol code
 never calls :meth:`compute_route` directly; it goes through the mapping LCP
 (:mod:`repro.vmmc.mapping_lcp`) exactly as the paper's daemons do.
+
+Fabrics are normally built declaratively: :func:`repro.hw.myrinet.topology
+.build` materializes a :class:`~repro.hw.myrinet.topology.TopologySpec`
+(single/dual switch, fat-tree, mesh/torus) and installs the topology's
+deadlock-free route table via :meth:`MyrinetNetwork.install_topology`;
+:meth:`compute_route` then serves that table (up*/down* on fat-trees,
+dimension-order on meshes) instead of generic shortest path.  The old
+``single_switch``/``dual_switch`` classmethods remain as deprecated shims.
 """
 
 from __future__ import annotations
 
+import re
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -19,6 +29,14 @@ from repro.sim import Environment
 from repro.hw.myrinet.link import Link, LinkParams
 from repro.hw.myrinet.packet import MyrinetPacket
 from repro.hw.myrinet.switch import Switch
+
+_NUM_RE = re.compile(r"(\d+)")
+
+
+def natural_key(name: str):
+    """Sort key placing ``node10`` after ``node9`` (not after ``node1``)."""
+    return tuple(int(tok) if tok.isdigit() else tok
+                 for tok in _NUM_RE.split(name))
 
 
 @dataclass
@@ -56,6 +74,11 @@ class MyrinetNetwork:
         self.switches: dict[str, Switch] = {}
         self.hosts: dict[str, _HostPort] = {}
         self._links: list[Link] = []
+        #: Set by :meth:`install_topology` (declarative fabrics).
+        self.topology = None
+        self._route_table: Optional[dict[tuple[str, str], list[int]]] = None
+        #: device → port → neighbour device (both ends of every cable).
+        self._port_map: dict[str, dict[int, str]] = {}
 
     # -- construction ---------------------------------------------------------
     def add_switch(self, name: str, nports: int = 8) -> Switch:
@@ -88,6 +111,11 @@ class MyrinetNetwork:
                 link_params: LinkParams | None = None) -> None:
         """Run a full-duplex cable between two endpoints."""
         params = link_params or self.link_params
+        for ref in (a, b):
+            if ref.port in self._port_map.get(ref.device, {}):
+                raise ValueError(
+                    f"{ref.device}: port {ref.port} already cabled to "
+                    f"{self._port_map[ref.device][ref.port]}")
         # Distinct RNG streams per link come from the name-derived seed
         # fallback in Link: two hops must never flip the same bit and
         # silently cancel an injected error.
@@ -100,6 +128,8 @@ class MyrinetNetwork:
         self._outlet_of(b, link_ba)
         self.graph.add_edge(a.device, b.device,
                             ports={a.device: a.port, b.device: b.port})
+        self._port_map.setdefault(a.device, {})[a.port] = b.device
+        self._port_map.setdefault(b.device, {})[b.port] = a.device
 
     def _sink_of(self, ref: PortRef) -> Callable[[MyrinetPacket], object]:
         if ref.device in self.switches:
@@ -124,14 +154,52 @@ class MyrinetNetwork:
         packet.injected_at = self.env.now
         return out.transmit(packet)
 
+    def install_topology(self, spec, table: dict[tuple[str, str],
+                                                 list[int]]) -> None:
+        """Install a declarative topology's route table as ground truth.
+
+        ``table`` must cover every ordered pair of distinct hosts;
+        :meth:`compute_route` then serves it verbatim, so the fabric
+        follows the topology's routing discipline (up*/down*,
+        dimension-order, …) rather than generic shortest path.  Called
+        by :func:`repro.hw.myrinet.topology.build` after the deadlock
+        check passes.
+        """
+        hosts = self.host_names
+        missing = [(s, d) for s in hosts for d in hosts
+                   if s != d and (s, d) not in table]
+        if missing:
+            raise ValueError(
+                f"route table incomplete: missing {len(missing)} "
+                f"pair(s), first {missing[0]}")
+        self.topology = spec
+        self._route_table = {pair: list(route)
+                             for pair, route in table.items()}
+
+    @property
+    def route_table(self) -> Optional[dict[tuple[str, str], list[int]]]:
+        """The installed route table, or ``None`` for hand-built fabrics."""
+        return self._route_table
+
     def compute_route(self, src: str, dst: str) -> list[int]:
         """Source-route bytes (one per switch hop) from ``src`` to ``dst``.
 
-        Ground truth used by the mapping LCP; raises if no path exists.
+        Ground truth used by the mapping LCP.  Serves the installed
+        topology route table when one exists; otherwise falls back to
+        deterministic shortest path (BFS, neighbours explored in natural
+        name order, so ties break identically on every run).  Raises if
+        no path exists.
         """
         if src == dst:
             return []
-        path = nx.shortest_path(self.graph, src, dst)
+        if self._route_table is not None:
+            try:
+                return list(self._route_table[(src, dst)])
+            except KeyError:
+                raise ValueError(
+                    f"no installed route {src!r} -> {dst!r} "
+                    f"(topology {self.topology!r})") from None
+        path = self._shortest_path(src, dst)
         route: list[int] = []
         for here, there in zip(path[1:-1], path[2:]):
             # 'here' is a switch; find its output port toward 'there'.
@@ -144,12 +212,51 @@ class MyrinetNetwork:
                     f"path {path} routes through host {node}")
         return route
 
+    def _shortest_path(self, src: str, dst: str) -> list[str]:
+        """BFS shortest path with deterministic (natural-order) ties."""
+        if src not in self.graph or dst not in self.graph:
+            raise ValueError(f"unknown device in {src!r} -> {dst!r}")
+        parents: dict[str, Optional[str]] = {src: None}
+        frontier = [src]
+        while frontier and dst not in parents:
+            nxt: list[str] = []
+            for node in frontier:
+                for neigh in sorted(self.graph[node], key=natural_key):
+                    if neigh not in parents:
+                        parents[neigh] = node
+                        nxt.append(neigh)
+            frontier = nxt
+        if dst not in parents:
+            raise ValueError(f"no path {src!r} -> {dst!r}")
+        path = [dst]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
     def hop_count(self, src: str, dst: str) -> int:
-        return len(nx.shortest_path(self.graph, src, dst)) - 1
+        if src == dst:
+            return 0
+        if self._route_table is not None and (src, dst) in self._route_table:
+            # switch hops + the final switch→host cable
+            return len(self._route_table[(src, dst)]) + 1
+        return len(self._shortest_path(src, dst)) - 1
+
+    def port_neighbor(self, device: str, port: int) -> Optional[str]:
+        """The device cabled to ``device``'s ``port`` (None if uncabled)."""
+        return self._port_map.get(device, {}).get(port)
+
+    def host_uplink(self, host: str) -> str:
+        """The switch (or peer) a host's single cable runs to."""
+        ports = self._port_map.get(host)
+        if not ports:
+            raise ValueError(f"host {host!r} is not cabled")
+        return next(iter(ports.values()))
 
     @property
     def host_names(self) -> list[str]:
-        return sorted(self.hosts)
+        """Hosts in index order (natural sort: node9 before node10)."""
+        return sorted(self.hosts, key=natural_key)
 
     # -- fault-injection surface ----------------------------------------------
     @property
@@ -173,31 +280,44 @@ class MyrinetNetwork:
             raise KeyError(f"no cable between {a!r} and {b!r}")
         return found
 
-    # -- canned topologies ---------------------------------------------------------
+    def links_of(self, device: str) -> list[Link]:
+        """Every unidirectional link touching ``device`` (either end)."""
+        found = [l for l in self._links if device in l.name.split("->")]
+        if not found:
+            raise KeyError(f"no links touch device {device!r}")
+        return found
+
+    # -- deprecated canned topologies -----------------------------------------
+    # The declarative replacements live in repro.hw.myrinet.topology:
+    #   topology.build(topology.SingleSwitchSpec(nhosts_=n), env, params)
+    #   topology.build("dual:8", env)
     @classmethod
     def single_switch(cls, env: Environment, nhosts: int,
                       link_params: LinkParams | None = None,
                       switch_ports: int = 8) -> "MyrinetNetwork":
-        """The paper's testbed: N hosts on one M2F-SW8 switch."""
+        """Deprecated shim for ``topology.build(SingleSwitchSpec(...))``."""
+        warnings.warn(
+            "MyrinetNetwork.single_switch() is deprecated; use "
+            "repro.hw.myrinet.topology.build(SingleSwitchSpec(nhosts_=n, "
+            "switch_ports=p), env, link_params)",
+            DeprecationWarning, stacklevel=2)
+        from repro.hw.myrinet import topology
         if nhosts > switch_ports:
             raise ValueError("more hosts than switch ports")
-        net = cls(env, link_params)
-        net.add_switch("sw0", nports=switch_ports)
-        for i in range(nhosts):
-            name = net.add_host(f"node{i}")
-            net.connect(PortRef(name, 0), PortRef("sw0", i))
-        return net
+        return topology.build(
+            topology.SingleSwitchSpec(nhosts_=nhosts,
+                                      switch_ports=switch_ports),
+            env, link_params)
 
     @classmethod
     def dual_switch(cls, env: Environment, nhosts: int,
                     link_params: LinkParams | None = None) -> "MyrinetNetwork":
-        """Two cascaded 8-port switches (tests multi-hop routing)."""
-        net = cls(env, link_params)
-        net.add_switch("sw0")
-        net.add_switch("sw1")
-        net.connect(PortRef("sw0", 7), PortRef("sw1", 7))
-        for i in range(nhosts):
-            name = net.add_host(f"node{i}")
-            switch = "sw0" if i < nhosts // 2 else "sw1"
-            net.connect(PortRef(name, 0), PortRef(switch, i % 7))
-        return net
+        """Deprecated shim for ``topology.build(DualSwitchSpec(...))``."""
+        warnings.warn(
+            "MyrinetNetwork.dual_switch() is deprecated; use "
+            "repro.hw.myrinet.topology.build(DualSwitchSpec(nhosts_=n), "
+            "env, link_params)",
+            DeprecationWarning, stacklevel=2)
+        from repro.hw.myrinet import topology
+        return topology.build(topology.DualSwitchSpec(nhosts_=nhosts),
+                              env, link_params)

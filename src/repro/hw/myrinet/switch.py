@@ -21,6 +21,23 @@ from repro.hw.myrinet.packet import MyrinetPacket
 SWITCH_LATENCY_NS = 550
 
 
+class PortRangeError(ValueError):
+    """A port number is outside a switch's radix.
+
+    Carries ``switch`` (the device name — essential in multi-switch
+    fabrics where every crossbar has ports 0..N), ``port``, and
+    ``nports`` so callers and tests can discriminate without parsing
+    the message.
+    """
+
+    def __init__(self, switch: str, port: int, nports: int):
+        super().__init__(
+            f"{switch}: port {port} out of range 0..{nports - 1}")
+        self.switch = switch
+        self.port = port
+        self.nports = nports
+
+
 class Switch:
     """An ``nports``-port crossbar with source routing."""
 
@@ -108,5 +125,4 @@ class Switch:
 
     def _check_port(self, port: int) -> None:
         if not 0 <= port < self.nports:
-            raise ValueError(
-                f"{self.name}: port {port} out of range 0..{self.nports - 1}")
+            raise PortRangeError(self.name, port, self.nports)

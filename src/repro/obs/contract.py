@@ -46,8 +46,12 @@ __all__ = [
 _NODE_PREFIX = re.compile(r"^node\d+\.")
 #: ``daemon.node<N>.`` — the VMMC daemon's Ethernet address prefix.
 _DAEMON_INSTANCE = re.compile(r"^daemon\.node\d+\.")
-#: A switch instance name (``sw0``, ``sw1`` ...).
-_SWITCH = re.compile(r"^sw\d+$")
+#: A switch instance name: the hand-wired testbeds (``sw0``, ``sw1``)
+#: or a generated-topology switch (``ft0:edge[0][1]``, ``mesh0:sw[2][3]``,
+#: ``ft0:core[1][1]`` — fabric prefix, colon, tier, bracketed coords).
+_SWITCH = re.compile(
+    r"^(?:sw\d+|[A-Za-z][A-Za-z0-9_-]*:(?:sw|edge|agg|core)"
+    r"(?:\[\d+\])+)$")
 
 
 def canonical_category(category: str) -> str:

@@ -19,12 +19,14 @@ exposes the restart-on-topology-change policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.sim import Environment
 from repro.sim.trace import emit
 from repro.hw.lanai.nic import LanaiNIC
-from repro.hw.myrinet.network import MyrinetNetwork
+from repro.hw.myrinet.network import MyrinetNetwork, natural_key
 from repro.hw.myrinet.packet import MyrinetPacket, PacketHeader
+from repro.hw.myrinet.topology import DeadlockReport, check_deadlock_free
 
 
 class MappingError(RuntimeError):
@@ -41,41 +43,77 @@ class MappingResult:
     indices: dict[str, int]
     probes_sent: int = 0
     mapping_time_ns: int = 0
+    #: Deadlock-freedom proof of the fabric's installed routing function
+    #: (None for hand-built fabrics with no installed route table).
+    deadlock: Optional[DeadlockReport] = None
 
 
 class MappingPhase:
-    """Runs the mapping protocol over the simulated fabric."""
+    """Runs the mapping protocol over the simulated fabric.
+
+    ``indices`` is the authoritative node numbering (the cluster passes
+    ``{node.name: node.index}``); when omitted, names are numbered in
+    natural order (``node9`` before ``node10``) so routing tables line up
+    with host indices on fabrics of any size.
+    """
 
     def __init__(self, env: Environment, network: MyrinetNetwork,
-                 nics: dict[str, LanaiNIC]):
+                 nics: dict[str, LanaiNIC],
+                 indices: Optional[dict[str, int]] = None):
         self.env = env
         self.network = network
         self.nics = nics
+        if indices is not None and set(indices) != set(nics):
+            raise ValueError("indices must cover exactly the mapped NICs")
+        self.indices = indices
         self._topology_version = 0
 
     def run(self):
         """Process: map the network; value is a :class:`MappingResult`."""
         def mapping():
             start = self.env.now
-            names = sorted(self.nics)
-            indices = {name: i for i, name in enumerate(names)}
+            if self.indices is not None:
+                indices = dict(self.indices)
+                names = sorted(indices, key=indices.get)
+            else:
+                names = sorted(self.nics, key=natural_key)
+                indices = {name: i for i, name in enumerate(names)}
+            # Before trusting the fabric's routing function, prove it
+            # cannot wedge the wormhole network: the channel dependency
+            # graph of every installed route table must be cycle-free.
+            report = None
+            if self.network.route_table is not None:
+                report = check_deadlock_free(self.network)
             routes: dict[str, dict[int, list[int]]] = {n: {} for n in names}
             probes = 0
-            for src in names:
-                for dst in names:
-                    if src == dst:
-                        continue
+            n = len(names)
+            # All-pairs probe verification in n-1 rounds of n parallel
+            # probes: round r pairs every src with the dst r steps ahead,
+            # so each round targets every destination exactly once (one
+            # inflight probe per inbox) while loading the fabric the way
+            # real traffic will.
+            for r in range(1, n):
+                round_probes = []
+                for i, src in enumerate(names):
+                    dst = names[(i + r) % n]
                     candidate = self.network.compute_route(src, dst)
-                    yield self.env.process(
-                        self._verify_route(src, dst, candidate))
                     routes[src][indices[dst]] = candidate
-                    probes += 1
+                    round_probes.append(self.env.process(
+                        self._verify_route(src, dst, candidate)))
+                for proc in round_probes:
+                    yield proc
+                probes += n
             duration = self.env.now - start
             emit(self.env, "mapping.done", probes=probes,
-                 duration_ns=duration)
+                 duration_ns=duration,
+                 topology=type(self.network.topology).__name__
+                 if self.network.topology is not None else "manual",
+                 channels=report.channels if report else 0,
+                 channel_deps=report.dependencies if report else 0)
             return MappingResult(routes=routes, indices=indices,
                                  probes_sent=probes,
-                                 mapping_time_ns=duration)
+                                 mapping_time_ns=duration,
+                                 deadlock=report)
 
         return self.env.process(mapping(), name="mapping_phase")
 

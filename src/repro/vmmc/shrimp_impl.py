@@ -29,7 +29,7 @@ from repro.mem.physical import PhysicalMemory
 from repro.mem.virtual import AddressSpace, PAGE_SIZE
 from repro.hw.bus.eisa import EISABus, EISAParams
 from repro.hw.bus.membus import MemoryBus, MemoryBusParams
-from repro.hw.myrinet.network import MyrinetNetwork
+from repro.hw.myrinet import topology
 from repro.hw.shrimp import ShrimpNIC, ShrimpParams
 from repro.hostos.kernel import Kernel, KernelParams
 from repro.vmmc.errors import ImportDenied, SendError
@@ -241,8 +241,9 @@ class ShrimpCluster:
                  env: Environment | None = None):
         self.env = env or Environment()
         self.params = params or ShrimpParams()
-        self.fabric = MyrinetNetwork.single_switch(
-            self.env, nnodes, self.params.link)
+        self.fabric = topology.build(
+            topology.SingleSwitchSpec(nhosts_=nnodes),
+            self.env, self.params.link)
         self.nodes = [
             ShrimpNode(self.env, f"node{i}", i, self.fabric,
                        memory_mb=memory_mb, params=self.params)

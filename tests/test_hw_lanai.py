@@ -13,7 +13,7 @@ from repro.hw.lanai import (
     SRAMExhausted,
 )
 from repro.hw.lanai.sram import SRAM_SIZE
-from repro.hw.myrinet import MyrinetNetwork, MyrinetPacket, PacketHeader
+from repro.hw.myrinet import MyrinetPacket, PacketHeader, topology
 
 
 # ---------------------------------------------------------------------- SRAM
@@ -93,7 +93,7 @@ def test_processor_work_ns_rounds_up_to_cycles():
 # ----------------------------------------------------------------- NIC + DMA
 def make_nic_pair():
     env = Environment()
-    net = MyrinetNetwork.single_switch(env, 2)
+    net = topology.build(topology.SingleSwitchSpec(nhosts_=2), env)
     mem0 = PhysicalMemory(1024 * 1024)
     mem1 = PhysicalMemory(1024 * 1024)
     nic0 = LanaiNIC(env, net, "node0", PCIBus(env), mem0)

@@ -10,9 +10,11 @@ from repro.hw.myrinet import (
     MyrinetNetwork,
     MyrinetPacket,
     PacketHeader,
+    PortRangeError,
     PortRef,
     Switch,
     crc8,
+    topology,
 )
 
 
@@ -169,16 +171,22 @@ def test_switch_drops_on_unconnected_port():
 
 def test_switch_bad_port_rejected():
     env = Environment()
-    sw = Switch(env, nports=4)
-    with pytest.raises(ValueError):
+    sw = Switch(env, nports=4, name="swX")
+    with pytest.raises(PortRangeError) as exc:
         env.process(sw.receive(make_packet(route=[9])))
         env.run()
+    # The error names the offending switch — essential in multi-switch
+    # fabrics — and carries typed fields.
+    assert exc.value.switch == "swX"
+    assert exc.value.port == 9
+    assert exc.value.nports == 4
+    assert "swX" in str(exc.value)
 
 
 # ------------------------------------------------------------------ topology
 def test_single_switch_topology_routes():
     env = Environment()
-    net = MyrinetNetwork.single_switch(env, 4)
+    net = topology.build(topology.SingleSwitchSpec(nhosts_=4), env)
     assert net.host_names == ["node0", "node1", "node2", "node3"]
     route = net.compute_route("node0", "node3")
     assert route == [3]  # one switch hop, output port 3
@@ -188,16 +196,27 @@ def test_single_switch_topology_routes():
 
 def test_dual_switch_topology_routes():
     env = Environment()
-    net = MyrinetNetwork.dual_switch(env, 4)
+    net = topology.build(topology.DualSwitchSpec(nhosts_=4), env)
     # node0 on sw0, node3 on sw1: two switch hops.
     route = net.compute_route("node0", "node3")
     assert len(route) == 2
     assert route[0] == 7  # sw0's uplink port
 
 
+def test_deprecated_classmethod_shims():
+    env = Environment()
+    with pytest.warns(DeprecationWarning):
+        net = MyrinetNetwork.single_switch(env, 4)
+    assert net.compute_route("node0", "node3") == [3]
+    env = Environment()
+    with pytest.warns(DeprecationWarning):
+        net = MyrinetNetwork.dual_switch(env, 4)
+    assert net.compute_route("node0", "node3")[0] == 7
+
+
 def test_end_to_end_delivery_through_switch():
     env = Environment()
-    net = MyrinetNetwork.single_switch(env, 2)
+    net = topology.build("single:2", env)
     got = []
     net.attach_host_sink("node1", got.append)
 
@@ -217,7 +236,7 @@ def test_end_to_end_delivery_through_switch():
 
 def test_packets_before_sink_attachment_are_queued():
     env = Environment()
-    net = MyrinetNetwork.single_switch(env, 2)
+    net = topology.build("single:2", env)
 
     def sender():
         pkt = make_packet(route=[1], payload=b"early")
@@ -251,6 +270,5 @@ def test_host_single_cable_enforced():
 
 
 def test_single_switch_capacity_check():
-    env = Environment()
     with pytest.raises(ValueError):
-        MyrinetNetwork.single_switch(env, 9, switch_ports=8)
+        topology.SingleSwitchSpec(nhosts_=9, switch_ports=8)

@@ -1,0 +1,273 @@
+"""Property tests for the declarative topology layer.
+
+For **every** registered spec kind (sizes swept), the generated routing
+function must satisfy three properties:
+
+1. **Delivery** — walking each route's bytes through the real cabling
+   terminates at the claimed destination host, for all ordered pairs.
+2. **Checker agreement** — the routes walked by the deadlock checker
+   are the same channels, and the channel dependency graph is acyclic
+   (``check_deadlock_free`` returns a report whose counts match).
+3. **Discipline** — mesh/torus routes are dimension-ordered (all X
+   moves before any Y move, one direction per dimension, no wrap use);
+   fat-tree routes never come back up after turning down (up*/down*).
+
+Plus the negative half of the contract: the checker must *reject*
+cyclic routing functions — both the canonical minimal-torus table and a
+hand-built three-switch ring — with a typed
+:class:`~repro.hw.myrinet.topology.RoutingDeadlockError` carrying the
+cycle.
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.hw.myrinet import MyrinetNetwork, PortRef, natural_key, topology
+from repro.hw.myrinet.topology import (
+    DualSwitchSpec,
+    FatTreeSpec,
+    MeshSpec,
+    RoutingDeadlockError,
+    SingleSwitchSpec,
+    TopologyError,
+    channel_dependency_graph,
+    check_deadlock_free,
+    fabric_stats,
+    minimal_torus_routes,
+    walk_route,
+)
+
+#: Size sweep per registered kind — every kind in SPEC_KINDS must appear
+#: here (asserted below), so a new generator cannot dodge the property
+#: tests by omission.
+SWEEP = {
+    "single": ["single:2", "single:5", "single:8", "single:6,ports=8"],
+    "dual": ["dual:4", "dual:8", "dual:14"],
+    "fattree": ["fattree:2", "fattree:4", "fattree:4,h=1", "fattree:8,h=2"],
+    "mesh": ["mesh:2x2", "mesh:3x2,h=2", "mesh:4x4",
+             "torus:3x3", "torus:4x4"],
+}
+
+ALL_SPECS = [text for texts in SWEEP.values() for text in texts]
+
+
+def built(text):
+    return topology.parse(text), topology.build(text, Environment())
+
+
+def test_sweep_covers_every_registered_kind():
+    assert set(SWEEP) == set(topology.SPEC_KINDS)
+
+
+# ------------------------------------------------ delivery + checker
+@pytest.mark.parametrize("text", ALL_SPECS)
+def test_all_pairs_routes_deliver(text):
+    spec, net = built(text)
+    table = net.route_table
+    hosts = net.host_names
+    assert len(hosts) == spec.nhosts
+    assert set(table) == {(s, d) for s in hosts for d in hosts if s != d}
+    for (src, dst), route in table.items():
+        terminal, channels = walk_route(net, src, route)
+        assert terminal == dst
+        # One channel per device the worm leaves: host uplink + each hop.
+        assert len(channels) == len(route) + 1
+        assert channels[0] == f"{src}->{net.host_uplink(src)}"
+        assert channels[-1].endswith(f"->{dst}")
+
+
+@pytest.mark.parametrize("text", ALL_SPECS)
+def test_checker_graph_matches_walked_routes(text):
+    spec, net = built(text)
+    table = net.route_table
+    report = check_deadlock_free(net)          # installed table
+    cdg = channel_dependency_graph(net, table)
+    walked = set()
+    deps = set()
+    for (src, _), route in table.items():
+        _, channels = walk_route(net, src, route)
+        walked.update(channels)
+        deps.update(zip(channels, channels[1:]))
+    assert set(cdg.nodes) == walked
+    assert set(cdg.edges) == deps
+    assert report.routes == len(table)
+    assert report.channels == len(walked)
+    assert report.dependencies == len(deps)
+
+
+@pytest.mark.parametrize("text", ALL_SPECS)
+def test_compute_route_serves_installed_table(text):
+    _, net = built(text)
+    hosts = net.host_names
+    for (src, dst), route in net.route_table.items():
+        assert net.compute_route(src, dst) == route
+    assert hosts == sorted(hosts, key=natural_key)
+
+
+# ------------------------------------------------ routing discipline
+@pytest.mark.parametrize("text", ["mesh:4x4", "mesh:3x2,h=2",
+                                  "torus:3x3", "torus:4x4"])
+def test_mesh_routes_are_dimension_ordered(text):
+    spec, net = built(text)
+    x_moves = {MeshSpec.EAST, MeshSpec.WEST}
+    y_moves = {MeshSpec.NORTH, MeshSpec.SOUTH}
+    for (src, dst), route in net.route_table.items():
+        *hops, exit_port = route
+        assert exit_port >= MeshSpec.HOST_BASE
+        dims = [0 if byte in x_moves else 1 for byte in hops]
+        assert dims == sorted(dims), \
+            f"{src}->{dst} {route}: Y move before X finished"
+        # One direction per dimension, and never the wrap cable: the
+        # hop count in each dimension equals the coordinate distance.
+        sx, sy, _ = spec.host_coords(int(src[4:]))
+        dx, dy, _ = spec.host_coords(int(dst[4:]))
+        assert hops.count(MeshSpec.EAST) - hops.count(MeshSpec.WEST) \
+            == dx - sx
+        assert hops.count(MeshSpec.NORTH) - hops.count(MeshSpec.SOUTH) \
+            == dy - sy
+        assert len(set(hops) & x_moves) <= 1
+        assert len(set(hops) & y_moves) <= 1
+
+
+@pytest.mark.parametrize("text", ["fattree:4", "fattree:8,h=2"])
+def test_fattree_routes_are_up_down(text):
+    spec, net = built(text)
+    tier = {}
+    for name in net.switches:
+        tier[name] = (0 if ":edge[" in name else
+                      1 if ":agg[" in name else 2)
+    for (src, dst), route in net.route_table.items():
+        _, channels = walk_route(net, src, route)
+        # Tier sequence of switch hops must rise then fall (up*/down*).
+        tiers = [tier[ch.split("->")[0]] for ch in channels[1:]]
+        peak = tiers.index(max(tiers))
+        assert tiers[:peak + 1] == sorted(tiers[:peak + 1])
+        assert tiers[peak:] == sorted(tiers[peak:], reverse=True)
+        assert len(route) <= 5
+
+
+def test_fattree_deterministic_up_path_is_destination_moded():
+    # In-order delivery needs one fixed path per (src, dst): re-building
+    # the same spec yields the identical table.
+    a = topology.build("fattree:4", Environment()).route_table
+    b = topology.build("fattree:4", Environment()).route_table
+    assert a == b
+
+
+# ------------------------------------------------ rejection: cyclic tables
+def test_minimal_torus_routing_is_rejected_as_deadlock():
+    spec = topology.parse("torus:4x4")
+    net = MyrinetNetwork(Environment())
+    spec.materialize(net)
+    cyclic = minimal_torus_routes(spec)
+    with pytest.raises(RoutingDeadlockError) as err:
+        check_deadlock_free(net, cyclic)
+    cycle = err.value.cycle
+    assert len(cycle) >= 4
+    assert cycle[0] == cycle[-1]           # a closed channel chain
+    for channel in cycle:
+        assert "->" in channel
+
+
+def test_minimal_torus_routes_requires_torus():
+    with pytest.raises(TopologyError, match="torus"):
+        minimal_torus_routes(topology.parse("mesh:4x4"))
+
+
+def test_hand_built_ring_routing_is_rejected():
+    # Three switches cabled in a unidirectional ring (port 0 -> next,
+    # port 1 <- previous, port 2 -> host).  One-hop routes are fine;
+    # adding the two-hop (+2) routes closes the channel cycle.
+    env = Environment()
+    net = MyrinetNetwork(env)
+    for i in range(3):
+        net.add_switch(f"ring{i}", nports=3)
+        net.add_host(f"node{i}")
+        net.connect(PortRef(f"node{i}", 0), PortRef(f"ring{i}", 2))
+    for i in range(3):
+        net.connect(PortRef(f"ring{i}", 0), PortRef(f"ring{(i + 1) % 3}", 1))
+    one_hop = {(f"node{s}", f"node{(s + 1) % 3}"): [0, 2] for s in range(3)}
+    report = check_deadlock_free(net, one_hop)
+    assert report.routes == 3
+    full = dict(one_hop)
+    full.update({(f"node{s}", f"node{(s + 2) % 3}"): [0, 0, 2]
+                 for s in range(3)})
+    with pytest.raises(RoutingDeadlockError) as err:
+        check_deadlock_free(net, full)
+    assert "cycle" in str(err.value)
+    ring_channels = {f"ring{i}->ring{(i + 1) % 3}" for i in range(3)}
+    assert ring_channels.issubset(set(err.value.cycle))
+
+
+def test_check_requires_some_table():
+    net = MyrinetNetwork(Environment())
+    with pytest.raises(TopologyError, match="no route table"):
+        check_deadlock_free(net)
+
+
+def test_route_walk_rejects_lies():
+    _, net = built("mesh:2x2")
+    with pytest.raises(TopologyError, match="not cabled"):
+        # Port EAST of the right-edge switch has no cable in a mesh.
+        walk_route(net, "node1", [MeshSpec.EAST, MeshSpec.HOST_BASE])
+    with pytest.raises(TopologyError, match="not a host"):
+        walk_route(net, "mesh0:sw[0][0]", [0])
+    with pytest.raises(TopologyError, match="forward through"):
+        # First byte reaches node1's *switch* neighbour... the HOST_BASE
+        # byte then lands on host node0, and the extra byte asks the
+        # host to forward.
+        walk_route(net, "node1", [MeshSpec.WEST, MeshSpec.HOST_BASE, 0])
+
+
+# ------------------------------------------------ parse / resolve / stats
+def test_parse_rejects_bad_strings():
+    for bad in ["fddi:4", "single", "single:x", "mesh:4", "mesh:4x",
+                "fattree:3", "fattree:4,ports=8", "single:4,h=2",
+                "torus:2x4", "mesh:8x8,h=0"]:
+        with pytest.raises(TopologyError):
+            topology.parse(bad)
+
+
+def test_parse_options():
+    spec = topology.parse("single:6,ports=8")
+    assert (spec.nhosts, spec.switch_ports) == (6, 8)
+    spec = topology.parse("fattree:8,h=2")
+    assert (spec.k, spec.h, spec.nhosts) == (8, 2, 64)
+    spec = topology.parse("torus:3x3")
+    assert spec.torus and spec.name == "torus0"
+    spec = topology.parse("mesh:8x8,h=2")
+    assert (spec.cols, spec.rows, spec.nhosts) == (8, 8, 128)
+
+
+def test_resolve_legacy_names_and_specs():
+    assert isinstance(topology.resolve("single_switch", nhosts=6),
+                      SingleSwitchSpec)
+    assert topology.resolve("single_switch", nhosts=6).nhosts == 6
+    assert isinstance(topology.resolve("dual_switch", nhosts=8),
+                      DualSwitchSpec)
+    spec = FatTreeSpec(k=4)
+    assert topology.resolve(spec) is spec
+    with pytest.raises(TopologyError, match="not a topology"):
+        topology.resolve(42)
+
+
+def test_fabric_stats_known_values():
+    _, net = built("fattree:4")
+    stats = fabric_stats(net)
+    assert (stats.nhosts, stats.nswitches, stats.ncables) == (16, 20, 48)
+    assert stats.diameter_hops == 5
+    assert stats.bisection_links == 8
+    _, mesh = built("mesh:4x4")
+    mstats = fabric_stats(mesh)
+    assert mstats.diameter_hops == 7          # corner-to-corner + exit
+    assert mstats.bisection_links == 4        # row cut of a 4x4 mesh
+    _, torus = built("torus:4x4")
+    assert fabric_stats(torus).bisection_links == 8   # wrap doubles it
+
+
+def test_spec_describe_and_host_names():
+    for text in ALL_SPECS:
+        spec = topology.parse(text)
+        assert spec.describe()
+        names = spec.host_names()
+        assert names == [f"node{i}" for i in range(spec.nhosts)]
