@@ -10,11 +10,31 @@ delivered as signals, section 5.1).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
 
 from repro.mem.virtual import AddressSpace
 
 _pids = itertools.count(100)
+
+
+@contextmanager
+def fresh_pid_namespace(first: int = 100) -> Iterator[None]:
+    """Run a block with pid allocation restarted from ``first``.
+
+    Pids are allocation-order identifiers from a process-global counter,
+    so two otherwise identical simulations started at different points
+    in one interpreter get different pids.  The engine-differential
+    harness wraps each workload run in this so traces compare byte for
+    byte; the previous counter is restored on exit.
+    """
+    global _pids
+    saved = _pids
+    _pids = itertools.count(first)
+    try:
+        yield
+    finally:
+        _pids = saved
 
 
 class UserProcess:

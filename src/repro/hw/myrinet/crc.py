@@ -25,15 +25,60 @@ def _build_table() -> np.ndarray:
 
 _TABLE = _build_table()
 
+# -- vectorized evaluation --------------------------------------------------
+# The table step crc' = T[crc ^ b] is GF(2)-affine with T[0] == 0, so T is
+# linear: T[a ^ b] == T[a] ^ T[b].  Unrolling n steps,
+#
+#     crc_n = T^n[initial]  ^  XOR_{i<n} T^(n-i)[data[i]]
+#
+# i.e. each byte's contribution is independent — a gather from the
+# power-table stack Z[k] = T^k followed by an XOR reduction, which numpy
+# does in bulk.  Buffers longer than the stack are folded chunk by chunk
+# (crc' = Z[m][crc] ^ contributions), so the stack stays at
+# ``(_CHUNK + 1) * 256`` bytes (~1 MB) regardless of message size.  This
+# is the link pipeline's hot path (every packet is sealed and checked);
+# the byte loop below remains as the small-buffer fast path and the
+# reference the tests hold the vector form to.
+
+#: Chunk size for the vectorized path == height of the power-table stack.
+_CHUNK = 4096
+#: Below this the plain Python loop beats numpy's fixed overhead.
+_SMALL = 64
+
+_POWERS: np.ndarray | None = None
+_DESC = np.arange(_CHUNK, 0, -1)
+
+
+def _build_powers() -> np.ndarray:
+    powers = np.empty((_CHUNK + 1, 256), dtype=np.uint8)
+    powers[0] = np.arange(256, dtype=np.uint8)
+    for k in range(1, _CHUNK + 1):
+        powers[k] = _TABLE[powers[k - 1]]
+    return powers
+
+
+def _crc8_loop(buf: np.ndarray, crc: int) -> int:
+    for byte in buf.tolist():
+        crc = int(_TABLE[crc ^ byte])
+    return crc
+
 
 def crc8(data: bytes | bytearray | np.ndarray, initial: int = 0) -> int:
     """CRC-8/ATM over ``data``; returns a value in [0, 255]."""
+    global _POWERS
     buf = np.frombuffer(bytes(data), dtype=np.uint8) \
         if isinstance(data, (bytes, bytearray)) \
         else np.asarray(data, dtype=np.uint8)
     crc = initial & 0xFF
-    for byte in buf.tolist():
-        crc = int(_TABLE[crc ^ byte])
+    if buf.size < _SMALL:
+        return _crc8_loop(buf, crc)
+    if _POWERS is None:
+        _POWERS = _build_powers()
+    for start in range(0, buf.size, _CHUNK):
+        chunk = buf[start:start + _CHUNK]
+        m = chunk.size
+        crc = int(_POWERS[m, crc]) ^ int(np.bitwise_xor.reduce(
+            _POWERS[_DESC[_CHUNK - m:], chunk]))
     return crc
 
 

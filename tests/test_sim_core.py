@@ -381,3 +381,210 @@ def test_many_processes_scale():
     env.run()
     assert counter["n"] == 1000
     assert env.now == 999
+
+
+# -- coverage gaps: combinators, interrupts, defusing, error propagation ----
+def test_event_and_combinator_waits_for_both():
+    env = Environment()
+    got = {}
+
+    def proc():
+        result = yield env.timeout(5, value="a") & env.timeout(9, value="b")
+        got["values"] = sorted(result.values())
+        got["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert got["values"] == ["a", "b"]
+    assert got["t"] == 9
+
+
+def test_event_or_combinator_fires_on_first():
+    env = Environment()
+    got = {}
+
+    def proc():
+        result = yield env.timeout(5, value="fast") | env.timeout(50)
+        got["values"] = list(result.values())
+        got["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert got["values"] == ["fast"]
+    assert got["t"] == 5
+
+
+def test_interrupt_during_timeout_preempts_the_wait():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(1000)
+            log.append(("slept", env.now))
+        except Interrupt as exc:
+            log.append(("interrupted", env.now, exc.cause))
+
+    def poker(target):
+        yield env.timeout(7)
+        target.interrupt("wake up")
+
+    target = env.process(sleeper())
+    env.process(poker(target))
+    env.run()
+    # The interrupt lands mid-timeout; the abandoned timeout still fires
+    # at t=1000 but resumes nothing.
+    assert log == [("interrupted", 7, "wake up")]
+    assert env.now == 1000
+
+
+def test_defuse_silences_unobserved_failure():
+    env = Environment()
+    bad = env.event()
+    bad.fail(RuntimeError("nobody is listening"))
+    bad.defuse()
+    env.run()  # would raise without the defuse
+    assert not bad.ok
+
+
+def test_unobserved_failure_escalates_without_defuse():
+    env = Environment()
+    env.event().fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_defused_fail_combines_fail_and_defuse():
+    env = Environment()
+    bad = env.event()
+    bad.defused_fail(ValueError("pre-handled"))
+    env.run()
+    assert bad.triggered and not bad.ok
+    assert isinstance(bad.value, ValueError)
+
+
+def test_simulation_error_propagates_through_nested_processes():
+    env = Environment()
+
+    def inner():
+        yield "not an event"  # engine misuse -> SimulationError
+
+    def middle():
+        yield env.process(inner())
+
+    def outer():
+        yield env.process(middle())
+
+    top = env.process(outer())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run(until=top)
+
+
+def test_nested_process_exception_can_be_caught_by_parent():
+    env = Environment()
+    got = {}
+
+    def inner():
+        yield env.timeout(1)
+        raise ValueError("inner exploded")
+
+    def outer():
+        try:
+            yield env.process(inner())
+        except ValueError as exc:
+            got["caught"] = str(exc)
+
+    env.process(outer())
+    env.run()
+    assert got["caught"] == "inner exploded"
+
+
+# -- the engine switch ------------------------------------------------------
+def test_engine_dispatch_and_env_var(monkeypatch):
+    from repro.sim import ENGINE_ENV_VAR, VectorEnvironment, resolve_engine
+
+    monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+    assert type(Environment()) is Environment
+    assert type(Environment(engine="vector")) is VectorEnvironment
+    assert Environment(engine="vector").engine == "vector"
+    monkeypatch.setenv(ENGINE_ENV_VAR, "vector")
+    assert type(Environment()) is VectorEnvironment
+    assert resolve_engine() == "vector"
+    monkeypatch.setenv(ENGINE_ENV_VAR, "scalar")
+    assert type(Environment()) is Environment
+    monkeypatch.setenv(ENGINE_ENV_VAR, "warp")
+    with pytest.raises(SimulationError, match="warp"):
+        Environment()
+
+
+def test_engine_mismatch_rejected():
+    from repro.sim import VectorEnvironment
+
+    with pytest.raises(SimulationError, match="vector"):
+        VectorEnvironment(engine="scalar")
+    with pytest.raises(SimulationError, match="bogus"):
+        Environment(engine="bogus")
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_run_variants_agree_across_engines(engine):
+    env = Environment(engine=engine)
+
+    def work():
+        yield env.timeout(7)
+        return "ret"
+
+    assert env.run(until=env.process(work())) == "ret"
+
+    env2 = Environment(engine=engine)
+    env2.timeout(100)
+    env2.run(until=50)
+    assert env2.now == 50
+    assert env2.events_processed == 0
+
+    env3 = Environment(engine=engine)
+    with pytest.raises(SimulationError, match="deadlock"):
+        env3.run(until=env3.event())
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_timeout_batch_contract(engine):
+    import numpy as np
+
+    env = Environment(engine=engine)
+    fired = []
+    batch = env.timeout_batch(
+        np.array([10, 5, 10, 3, 5, 10, 0]),
+        on_fire=lambda t, ix: fired.append((t, [int(i) for i in ix])))
+    done = {}
+
+    def waiter():
+        done["n"] = yield batch
+        done["t"] = env.now
+
+    env.process(waiter())
+    env.run()
+    assert fired == [(0, [6]), (3, [3]), (5, [1, 4]), (10, [0, 2, 5])]
+    assert done == {"n": 7, "t": 10}
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_timeout_batch_edge_cases(engine):
+    env = Environment(engine=engine)
+    empty = env.timeout_batch([])
+    assert empty.triggered and empty.value == 0
+    with pytest.raises(SimulationError, match="negative"):
+        env.timeout_batch([3, -1])
+    with pytest.raises(SimulationError, match="1-D"):
+        env.timeout_batch([[1, 2], [3, 4]])
+
+
+def test_events_processed_counts_batch_members_identically():
+    def run(engine):
+        env = Environment(engine=engine)
+        env.timeout_batch([4, 4, 4, 9, 9])
+        env.timeout(4)
+        env.run()
+        return env.events_processed, env.now
+
+    assert run("scalar") == run("vector")
