@@ -93,6 +93,16 @@ def _fabric_workload() -> dict[str, Any]:
                          "messages": 6, "size": 2048}, seed=0)
 
 
+def _kv_workload() -> dict[str, Any]:
+    # Chaos scenario on purpose: error bursts drive the reliable
+    # sender's batched retransmit deadlines (Environment.timeout_batch),
+    # so this workload is the engine-identity proof for that path.
+    from repro.kv.bench import run_kv_trial
+
+    return run_kv_trial(0, shards=2, requests=120, nkeys=64, skew=1.1,
+                        load="diurnal", scenario="error-burst")
+
+
 def _contract_workload() -> dict[str, Any]:
     from repro.obs.workload import run_contract_workload
 
@@ -115,6 +125,7 @@ WORKLOADS: dict[str, Callable[[], dict[str, Any]]] = {
     "fig3": _fig3_workload,
     "dsm-smoke": _dsm_workload,
     "fabric-smoke": _fabric_workload,
+    "kv-smoke": _kv_workload,
     "contract": _contract_workload,
 }
 

@@ -227,3 +227,29 @@ register(CampaignSpec(
     smoke_seeds=tuple(range(4)),
     expected_runtime="~4 min",
 ))
+
+register(CampaignSpec(
+    name="kv", area="KV",
+    title="sharded KV serving tier: open-loop tail latency under chaos",
+    paper_ref="extension of section 1's client-server motivation (E-kv)",
+    trial=trials.kv_trial,
+    grid={"shards": (2, 4, 8), "skew": (0.0, 0.9, 1.2),
+          "load": ("steady", "diurnal"),
+          "scenario": ("clean", "error-burst", "daemon-cold-crash"),
+          "requests": (100_000,)},
+    seeds=(0,),
+    metrics=(
+        Metric("p50_us", "us", "lower", 15.0),
+        Metric("p99_us", "us", "lower", 25.0),
+        Metric("p999_us", "us", "info"),
+        Metric("requests_per_sec", "req/s", "info"),
+        Metric("imbalance", "ratio", "info"),
+        Metric("retransmits", "count", "info"),
+    ),
+    smoke_grid={"shards": (2,), "skew": (0.0, 1.2),
+                "load": ("steady", "diurnal"),
+                "scenario": ("clean", "error-burst", "daemon-cold-crash"),
+                "requests": (400,)},
+    smoke_seeds=(0,),
+    expected_runtime="~1 min smoke; hours at the full 100k-request grid",
+))

@@ -266,3 +266,33 @@ def dsm_trial(params: dict, seed: int) -> dict:
         },
         "gates": {"sequential_consistency": not trial["sc_violations"]},
     }
+
+
+def kv_trial(params: dict, seed: int) -> dict:
+    """Seeded sharded-KV serving trial under one chaos scenario.
+
+    Gates: every request must complete (the reliable layer rides out
+    the scenario's faults) and every GET must observe exactly its
+    read-your-writes oracle value."""
+    from repro.kv.bench import run_kv_trial
+
+    trial = run_kv_trial(
+        seed, shards=params["shards"], requests=params["requests"],
+        skew=params["skew"], load=params["load"],
+        scenario=params["scenario"])
+    tail = trial["latency_ns"]
+    return {
+        "metrics": {
+            "p50_us": tail["p50"] / 1000.0,
+            "p99_us": tail["p99"] / 1000.0,
+            "p999_us": tail["p999"] / 1000.0,
+            "requests_per_sec": trial["requests_per_sec"],
+            "imbalance": trial["imbalance"],
+            "retransmits": trial["transport"]["retransmits"],
+        },
+        "gates": {
+            "delivered": (trial["failed"] == 0
+                          and trial["completed"] == trial["requests"]),
+            "read_your_writes": trial["ryw_violations_total"] == 0,
+        },
+    }

@@ -20,6 +20,11 @@ dsm-bench    extension — seeded DSM coherence workload (page faults,
              invalidations, fetch latency) under clean/chaos scenarios,
              gated on the sequential-consistency checker and
              byte-identical reruns (``--report`` for JSON)
+kv-bench     extension — sharded KV serving tier driven by an open-loop
+             Zipf get/put generator (tail latency p50/p99/p999, hot-key
+             imbalance) under clean/chaos scenarios, gated on delivery,
+             the read-your-writes oracle and byte-identical reruns
+             (``--report`` for JSON)
 campaign     experiment campaigns — ``list|run|resume|report|diff``:
              declarative grid x seed sweeps fanned out over a process
              pool, aggregated (min/median/mean/CI) into schema-versioned
@@ -481,6 +486,82 @@ def cmd_dsm_bench(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_kv_bench(args) -> int:
+    """``kv-bench``: seeded sharded-KV serving trials; delivery,
+    read-your-writes and determinism gated; ``--report`` writes the raw
+    per-trial sweep.  The committed ``BENCH_KV.json`` baseline is
+    produced by ``campaign run kv`` (docs/BENCHMARKS.md)."""
+    import json
+
+    from repro.kv.bench import SCENARIOS, run_kv_sweep, run_kv_trial
+
+    scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    seeds = (list(range(args.seeds)) if args.seed is None
+             else [args.seed])
+    if args.smoke:
+        seeds = seeds[:1]
+    if not seeds:
+        print("kv-bench: nothing to run (--seeds must be >= 1)")
+        return 1
+    kwargs = dict(shards=args.shards, requests=args.requests,
+                  nkeys=args.nkeys, skew=args.skew,
+                  get_fraction=args.get_fraction, load=args.load,
+                  base_gap_ns=args.gap)
+    sweep = run_kv_sweep(seeds, scenarios=scenarios, **kwargs)
+
+    rows = []
+    for trial in sweep["trials"]:
+        tail = trial["latency_ns"]
+        rows.append([
+            trial["scenario"], trial["seed"], trial["completed"],
+            trial["failed"],
+            f"{tail['p50'] / 1000:.1f}", f"{tail['p99'] / 1000:.1f}",
+            f"{tail['p999'] / 1000:.1f}",
+            f"{trial['requests_per_sec']:g}", trial["imbalance"],
+            trial["transport"]["retransmits"],
+            trial["ryw_violations_total"],
+        ])
+    print(format_table(
+        f"KV serving bench: {args.shards} shards, {args.requests} "
+        f"requests/trial, zipf skew {args.skew}, {args.load} load "
+        "(read-your-writes checked on every trial)",
+        ["scenario", "seed", "done", "fail", "p50 us", "p99 us",
+         "p999 us", "req/s", "imbal", "retx", "RYW viol"], rows))
+
+    summary = sweep["summary"]
+    delivered = (summary["failed_total"] == 0
+                 and summary["completed_total"]
+                 == len(sweep["trials"]) * args.requests)
+    consistent = summary["ryw_violations_total"] == 0
+    # Determinism gate: the first seed of every scenario, re-run and
+    # compared byte for byte.
+    deterministic = True
+    for scenario in scenarios:
+        first = json.dumps(
+            run_kv_trial(seeds[0], scenario=scenario, **kwargs),
+            sort_keys=True)
+        again = json.dumps(
+            run_kv_trial(seeds[0], scenario=scenario, **kwargs),
+            sort_keys=True)
+        if first != again:
+            deterministic = False
+            print(f"DETERMINISM VIOLATION: scenario {scenario!r} "
+                  f"seed {seeds[0]} differs across reruns")
+    ok = delivered and consistent and deterministic
+    print(f"\n{len(sweep['trials'])} trials, "
+          f"{summary['failed_total']} failed, "
+          f"{summary['ryw_violations_total']} RYW violations, "
+          f"reruns {'byte-identical' if deterministic else 'DIVERGED'}"
+          + ("" if ok else " — FAILING"))
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(sweep, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
+
+
 # -- campaign orchestration (docs/BENCHMARKS.md) ---------------------------
 def _campaign_artifact_path(spec, args) -> str:
     """Where a campaign's artifact goes: --out beats --out-dir beats the
@@ -923,6 +1004,35 @@ def build_parser() -> argparse.ArgumentParser:
     dsm.add_argument("--report", metavar="FILE",
                      help="write the JSON sweep report")
     dsm.set_defaults(func=cmd_dsm_bench)
+
+    kv = sub.add_parser(
+        "kv-bench",
+        help="sharded KV serving tier under chaos, RYW-oracle gated")
+    kv.add_argument("--shards", type=int, default=4)
+    kv.add_argument("--requests", type=int, default=400)
+    kv.add_argument("--nkeys", type=int, default=512)
+    kv.add_argument("--skew", type=float, default=0.9,
+                    help="zipf exponent over keys (0 = uniform)")
+    kv.add_argument("--get-fraction", type=float, default=0.8)
+    kv.add_argument("--load", choices=["steady", "diurnal"],
+                    default="steady")
+    kv.add_argument("--gap", type=int, default=20_000, metavar="NS",
+                    help="base inter-arrival gap in ns (default 20000)")
+    kv.add_argument("--seeds", type=int, default=2, metavar="N",
+                    help="sweep seeds 0..N-1 (default 2)")
+    kv.add_argument("--seed", type=int, default=None,
+                    help="run a single seed instead of the sweep")
+    kv.add_argument("--scenario",
+                    choices=["all", "clean", "error-burst",
+                             "daemon-cold-crash"],
+                    default="all")
+    kv.add_argument("--smoke", action="store_true",
+                    help="CI shape: first seed only")
+    kv.add_argument("--report", metavar="FILE", nargs="?",
+                    const="kv-bench-report.json",
+                    help="write the JSON sweep report "
+                         "(default FILE: kv-bench-report.json)")
+    kv.set_defaults(func=cmd_kv_bench)
 
     camp = sub.add_parser(
         "campaign",

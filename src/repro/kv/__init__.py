@@ -1,0 +1,27 @@
+"""Sharded key-value serving tier over the reliable RPC layer.
+
+The ROADMAP's million-request application tier, item (b): N server
+ranks each export an XDR-RPC-backed store
+(:mod:`repro.kv.store`), keys route to shards by deterministic
+consistent hashing (:mod:`repro.kv.hashing`), and an open-loop,
+integer-ns, RNG-seeded generator (:mod:`repro.kv.workload`) replays a
+Zipf-keyed get/put stream with a diurnal load envelope against the
+cluster.  :mod:`repro.kv.bench` drives one trial end to end — tail
+latency (p50/p99/p999) lands in :mod:`repro.obs` histograms, per-key
+read-your-writes is checked against a static oracle, and the chaos
+scenarios prove the tier rides the reliable layer through faults.
+"""
+
+from repro.kv.hashing import HashRing
+from repro.kv.store import KV_PROGRAM_NUMBER, KV_PROGRAM_VERSION, KVStore
+from repro.kv.workload import Request, WorkloadSpec, generate_schedule
+
+__all__ = [
+    "HashRing",
+    "KVStore",
+    "KV_PROGRAM_NUMBER",
+    "KV_PROGRAM_VERSION",
+    "Request",
+    "WorkloadSpec",
+    "generate_schedule",
+]

@@ -1,0 +1,61 @@
+"""Deterministic consistent hashing: key → shard routing.
+
+A classic virtual-node hash ring: every shard contributes ``vnodes``
+points on a 64-bit ring (SHA-1 of ``"shard#vnode"``), a key routes to
+the first point clockwise of its own hash.  SHA-1 is used purely as a
+deterministic spreader — same inputs, same ring, on every platform and
+in every process, which is what lets the bench's static read-your-writes
+oracle predict each key's shard without running the simulation.
+
+Virtual nodes bound the per-shard load spread (the classic
+``O(sqrt(vnodes))`` balance result), and consistent hashing keeps the
+key→shard map stable under reconfiguration: adding or removing one
+shard remaps only the keys on its arcs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing", "point_for"]
+
+DEFAULT_VNODES = 64
+
+
+def point_for(data: bytes) -> int:
+    """A deterministic 64-bit ring position for ``data``."""
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over named shards."""
+
+    def __init__(self, shards: Sequence[str], vnodes: int = DEFAULT_VNODES):
+        if not shards:
+            raise ValueError("HashRing needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError(f"duplicate shard names in {list(shards)!r}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = tuple(shards)
+        self.vnodes = vnodes
+        points = sorted(
+            (point_for(f"{shard}#{v}".encode()), shard)
+            for shard in shards for v in range(vnodes))
+        self._hashes = [h for h, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def route(self, key: int) -> str:
+        """The shard owning ``key`` (a 64-bit integer key id)."""
+        h = point_for(int(key).to_bytes(8, "big"))
+        i = bisect.bisect_right(self._hashes, h) % len(self._hashes)
+        return self._owners[i]
+
+    def spread(self, keys: Iterable[int]) -> dict[str, int]:
+        """Keys-per-shard histogram (every shard present, possibly 0)."""
+        counts = {shard: 0 for shard in self.shards}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

@@ -1,0 +1,134 @@
+"""Open-loop request generator: Zipf keys, get/put mix, diurnal load.
+
+The generator is *open loop*: every request has a precomputed integer-ns
+arrival time, and the driver fires it at that time regardless of how
+the service is coping — the workload model that actually exposes tail
+latency (a closed loop self-throttles exactly when the system is
+slowest).  Everything is derived from one ``numpy`` RNG seed, so a
+schedule is a pure function of ``(spec, seed)``:
+
+* **keys** — bounded Zipf over ``nkeys`` ranks with exponent ``skew``
+  (0 = uniform) via inverse-CDF sampling on a precomputed table;
+* **ops** — Bernoulli get/put mix at ``get_fraction``;
+* **arrivals** — base inter-arrival gap ``base_gap_ns``, modulated by a
+  sinusoidal diurnal envelope (``load="diurnal"``) sweeping the arrival
+  rate between ``1 - amplitude`` and ``1 + amplitude`` of nominal over
+  ``cycles`` day-cycles across the run.
+
+Because the whole schedule exists before the simulation starts, the
+expected value of every GET is computable *statically*
+(:func:`read_your_writes_oracle`): per key, requests are issued in
+schedule order onto one FIFO exactly-once channel to one shard, so a
+GET must observe exactly the last earlier PUT to its key.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorkloadSpec", "Request", "generate_schedule",
+           "read_your_writes_oracle"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of one open-loop replay (all knobs deterministic)."""
+
+    requests: int = 1000
+    nkeys: int = 512
+    skew: float = 0.9
+    get_fraction: float = 0.8
+    base_gap_ns: int = 20_000
+    load: str = "steady"            # "steady" | "diurnal"
+    diurnal_amplitude: float = 0.5
+    diurnal_cycles: float = 2.0
+    value_bytes: int = 64
+
+    def __post_init__(self):
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.nkeys < 1:
+            raise ValueError(f"nkeys must be >= 1, got {self.nkeys}")
+        if self.skew < 0:
+            raise ValueError(f"skew must be >= 0, got {self.skew}")
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise ValueError(f"get_fraction {self.get_fraction} not in [0,1]")
+        if self.base_gap_ns < 1:
+            raise ValueError(f"base_gap_ns must be >= 1 ns")
+        if self.load not in ("steady", "diurnal"):
+            raise ValueError(f"load must be steady|diurnal, got {self.load!r}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One scheduled request (plain python ints/bytes, JSON-safe)."""
+
+    index: int
+    at_ns: int
+    op: str                  # "get" | "put"
+    key: int
+    value: bytes | None      # None for gets
+
+
+def _value_for(index: int, key: int, value_bytes: int) -> bytes:
+    """A deterministic, self-describing payload for PUT ``index``."""
+    stamp = struct.pack(">QQ", index, key)
+    reps = value_bytes // len(stamp) + 1
+    return (stamp * reps)[:value_bytes]
+
+
+def generate_schedule(spec: WorkloadSpec, seed: int) -> list[Request]:
+    """The full request schedule for ``(spec, seed)``, arrival-ordered."""
+    rng = np.random.default_rng(seed)
+    n = spec.requests
+
+    # Bounded Zipf by inverse-CDF: weight(rank r) = r^-skew, r = 1..nkeys.
+    ranks = np.arange(1, spec.nkeys + 1, dtype=np.float64)
+    cdf = np.cumsum(ranks ** -spec.skew)
+    cdf /= cdf[-1]
+    keys = np.searchsorted(cdf, rng.random(n), side="right")
+
+    is_get = rng.random(n) < spec.get_fraction
+
+    if spec.load == "diurnal":
+        phase = (2.0 * np.pi * spec.diurnal_cycles
+                 * np.arange(n, dtype=np.float64) / n)
+        rate = 1.0 + spec.diurnal_amplitude * np.sin(phase)
+        gaps = np.maximum(1, np.rint(spec.base_gap_ns / rate)).astype(np.int64)
+    else:
+        gaps = np.full(n, spec.base_gap_ns, dtype=np.int64)
+    at_ns = np.cumsum(gaps)
+
+    schedule = []
+    for i in range(n):
+        key = int(keys[i])
+        if is_get[i]:
+            schedule.append(Request(i, int(at_ns[i]), "get", key, None))
+        else:
+            schedule.append(Request(
+                i, int(at_ns[i]), "put", key,
+                _value_for(i, key, spec.value_bytes)))
+    return schedule
+
+
+def read_your_writes_oracle(schedule: list[Request]) -> dict[int, bytes | None]:
+    """Expected value of every GET, by request index.
+
+    Valid because per key the service is a single FIFO exactly-once
+    pipeline: key → one shard (consistent hashing), requests issued in
+    schedule order, the channel delivers in order, the shard applies
+    serially.  ``None`` means the key was never written before the GET.
+    """
+    last: dict[int, bytes] = {}
+    expected: dict[int, bytes | None] = {}
+    for req in schedule:
+        if req.op == "put":
+            last[req.key] = req.value
+        else:
+            expected[req.index] = last.get(req.key)
+    return expected

@@ -17,8 +17,9 @@ Design points:
   *identical* snapshots — asserted by the test suite and usable as a
   regression oracle.
 * **Histograms** keep every observation (simulated runs are small) and
-  report exact rank-interpolated quantiles, giving the latency p50/p90/p99
-  the ROADMAP's congestion-backoff tuning needs.
+  report exact rank-interpolated quantiles, giving the latency
+  p50/p90/p99/p999 the ROADMAP's congestion-backoff tuning and the KV
+  serving tier's tail reports need.
 
 Usage::
 
@@ -41,11 +42,28 @@ __all__ = [
     "count",
     "set_gauge",
     "observe",
+    "quantile_key",
     "registry_of",
 ]
 
 #: Quantiles reported in histogram snapshots.
-SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+def quantile_key(q: float) -> str:
+    """Render a quantile as a snapshot key: 0.5→p50, 0.99→p99, 0.999→p999.
+
+    The key is built from the decimal digits of ``q`` (not ``int(q*100)``,
+    which collapsed 0.999 onto p99), so distinct quantiles always get
+    distinct keys and lexicographically longer keys are deeper tails.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if q == 1.0:
+        return "p100"
+    digits = f"{q:.12f}"[2:].rstrip("0") or "0"
+    # pad so p5 renders as the conventional p50 (and p9 as p90)
+    return "p" + digits.ljust(2, "0")
 
 
 class Counter:
@@ -91,16 +109,18 @@ class Histogram:
     deterministic (no probabilistic sketches).
     """
 
-    __slots__ = ("_values", "_sorted")
+    __slots__ = ("_values", "_sorted", "_sum")
 
     def __init__(self) -> None:
         self._values: list[float] = []
         self._sorted = True
+        self._sum: float = 0
 
     def observe(self, value: float) -> None:
         if self._values and value < self._values[-1]:
             self._sorted = False
         self._values.append(value)
+        self._sum += value
 
     @property
     def count(self) -> int:
@@ -108,7 +128,9 @@ class Histogram:
 
     @property
     def sum(self) -> float:
-        return sum(self._values)
+        # Maintained incrementally in observe(); recomputing over a
+        # million-sample KV histogram made every snapshot O(n).
+        return self._sum
 
     def _ensure_sorted(self) -> list[float]:
         if not self._sorted:
@@ -135,12 +157,12 @@ class Histogram:
         values = self._ensure_sorted()
         snap: dict[str, float] = {
             "count": len(values),
-            "sum": sum(values),
+            "sum": self._sum,
             "min": values[0],
             "max": values[-1],
         }
         for q in SNAPSHOT_QUANTILES:
-            snap[f"p{int(q * 100)}"] = self.quantile(q)
+            snap[quantile_key(q)] = self.quantile(q)
         return snap
 
 
@@ -207,7 +229,8 @@ class MetricsRegistry:
         """Flat, deterministic view: ``name{labels}`` → value/dict.
 
         Counters render as numbers, gauges as ``{value, max}`` dicts,
-        histograms as ``{count, sum, min, max, p50, p90, p99}`` dicts.
+        histograms as ``{count, sum, min, max, p50, p90, p99, p999}``
+        dicts.
         Keys are sorted, so two identically seeded runs produce *equal*
         snapshots (`==` on the dicts).
         """

@@ -3,12 +3,14 @@
 import pytest
 
 from repro.obs.metrics import (
+    SNAPSHOT_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     count,
     observe,
+    quantile_key,
     registry_of,
     set_gauge,
 )
@@ -51,6 +53,86 @@ def test_histogram_exact_interpolated_quantiles():
     snap = h.snapshot()
     assert snap["count"] == 100 and snap["min"] == 1 and snap["max"] == 100
     assert snap["p90"] == pytest.approx(h.quantile(0.9))
+    # p999 is a distinct key, not a silent collision with p99.
+    assert snap["p999"] == pytest.approx(h.quantile(0.999))
+    assert snap["p999"] != snap["p99"]
+
+
+def test_quantile_keys_unique_and_monotone_in_q():
+    """Property: rendered keys are unique and ordered like their quantiles.
+
+    `int(q * 100)` collapsed 0.999 onto "p99"; the digit-based renderer
+    must keep every distinct q distinct, and parsing a key back must
+    recover a value monotone in q.
+    """
+    qs = [0.0, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95,
+          0.99, 0.995, 0.999, 0.9999, 1.0]
+    keys = [quantile_key(q) for q in qs]
+    assert len(set(keys)) == len(keys)
+    # Parse "p<digits>" back to a float: digits are the decimal expansion.
+    def parse(key):
+        digits = key[1:]
+        if digits == "100":
+            return 1.0
+        return int(digits) / (10 ** len(digits))
+    parsed = [parse(k) for k in keys]
+    assert parsed == sorted(parsed)
+    for q, p in zip(qs, parsed):
+        assert p == pytest.approx(q)
+    # The conventional spellings.
+    assert quantile_key(0.5) == "p50"
+    assert quantile_key(0.9) == "p90"
+    assert quantile_key(0.99) == "p99"
+    assert quantile_key(0.999) == "p999"
+    assert 0.999 in SNAPSHOT_QUANTILES
+    with pytest.raises(ValueError):
+        quantile_key(1.5)
+
+
+def test_histogram_single_sample_quantiles():
+    h = Histogram()
+    h.observe(42)
+    snap = h.snapshot()
+    # Every quantile of a single sample is that sample.
+    for q in SNAPSHOT_QUANTILES:
+        assert snap[quantile_key(q)] == 42
+    assert snap["min"] == snap["max"] == 42
+    assert snap["count"] == 1 and snap["sum"] == 42
+
+
+def test_histogram_duplicate_heavy_quantiles():
+    h = Histogram()
+    for _ in range(999):
+        h.observe(7)
+    h.observe(1000)                     # one outlier at the very top
+    assert h.quantile(0.5) == 7
+    assert h.quantile(0.99) == 7
+    # p999 lands on the interpolation ramp into the outlier.
+    assert h.quantile(0.999) == pytest.approx(7 + (1000 - 7) * 0.001, rel=1e-6)
+    assert h.sum == 999 * 7 + 1000
+
+
+def test_histogram_interleaved_observe_snapshot_invalidates_sort_cache():
+    h = Histogram()
+    h.observe(10)
+    h.observe(20)
+    assert h.snapshot()["max"] == 20    # sorts and caches
+    h.observe(5)                        # out of order: must invalidate
+    snap = h.snapshot()
+    assert snap["min"] == 5 and snap["max"] == 20
+    assert h.quantile(0.0) == 5
+    h.observe(30)                       # in order after a sorted snapshot
+    assert h.snapshot()["max"] == 30
+    assert h.sum == 65
+
+
+def test_histogram_running_sum_matches_recomputed_sum():
+    h = Histogram()
+    values = [3.5, -2, 0, 1e9, 17, 0.25, -0.25]
+    for v in values:
+        h.observe(v)
+    assert h.sum == pytest.approx(sum(values))
+    assert h.snapshot()["sum"] == pytest.approx(sum(h._values))
 
 
 def test_histogram_edge_cases():

@@ -73,7 +73,7 @@ def _assert_identical(name):
 
 def test_workload_registry_matches_the_issue_acceptance_list():
     assert {"chaos", "fig3", "dsm-smoke", "fabric-smoke",
-            "contract"} <= set(WORKLOADS)
+            "kv-smoke", "contract"} <= set(WORKLOADS)
 
 
 def test_chaos_workload_bit_identical_across_engines():
@@ -90,6 +90,12 @@ def test_dsm_smoke_workload_bit_identical_across_engines():
 
 def test_fabric_smoke_workload_bit_identical_across_engines():
     _assert_identical("fabric-smoke")
+
+
+def test_kv_smoke_workload_bit_identical_across_engines():
+    # The KV chaos trial exercises the reliable sender's batched
+    # retransmit deadlines (Environment.timeout_batch) end to end.
+    _assert_identical("kv-smoke")
 
 
 def test_contract_workload_traces_and_metrics_bit_identical():
